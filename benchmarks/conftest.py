@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md) and prints the reproduced rows so that
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.platform import PLATFORMS
+from repro.primitives.registry import default_primitive_library
+
+
+@pytest.fixture(scope="session")
+def library():
+    """The full primitive library, shared across every benchmark."""
+    return default_primitive_library()
+
+
+@pytest.fixture(scope="session")
+def intel():
+    return PLATFORMS["intel-haswell"]
+
+
+@pytest.fixture(scope="session")
+def arm():
+    return PLATFORMS["arm-cortex-a57"]
+
+
+def emit(text: str) -> None:
+    """Print a reproduced table/figure with a separating banner."""
+    print()
+    print("=" * 96)
+    print(text)
+    print("=" * 96)

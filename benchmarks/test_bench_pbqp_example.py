@@ -1,0 +1,32 @@
+"""E1 — Figure 2: the worked PBQP example (node-only versus node+edge costs).
+
+Benchmarks the PBQP solver on the three-layer example and checks the two
+qualitative properties the figure demonstrates: the node-only optimum is the
+per-node minimum (cost 37), and adding edge costs changes the problem in a
+way the solver still solves to proven optimality (verified against brute
+force).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.pbqp_example import figure2_example
+
+
+def test_figure2_pbqp_example(benchmark):
+    result = benchmark.pedantic(figure2_example, rounds=5, iterations=1)
+
+    emit(
+        "Figure 2 — PBQP example\n"
+        f"  node costs only : cost {result.node_only_cost:.1f}, "
+        f"selection {result.node_only_selection}\n"
+        f"  node + edge     : cost {result.with_edges_cost:.1f}, "
+        f"selection {result.with_edges_selection}\n"
+        f"  brute force     : cost {result.brute_force_cost:.1f}"
+    )
+
+    assert result.node_only_cost == pytest.approx(37.0)
+    assert result.node_only_selection == {"conv1": "B", "conv2": "C", "conv3": "B"}
+    assert result.with_edges_cost == pytest.approx(result.brute_force_cost)
+    assert result.with_edges.optimal
+    assert result.with_edges_cost >= result.node_only_cost

@@ -1,0 +1,57 @@
+"""E8 — Table 1: strengths and weaknesses of the convolution algorithm families.
+
+Table 1 is qualitative; the benchmark derives the same judgements from the
+cost model over a probe-scenario sweep and asserts each cell:
+
+* direct loops handle strided convolution but are slow in general;
+* im2 handles everything but suffers on large images (huge Toeplitz matrix);
+* kn2 is fast with low memory but cannot do strided convolution and suffers
+  with few channels;
+* Winograd has the best time for its supported cases but more memory and no
+  strided support;
+* FFT needs a large kernel to be worthwhile (a small kernel is its bad case).
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.family_traits import PROBE_SCENARIOS, family_traits_table
+
+
+@pytest.fixture(scope="module")
+def traits(library, intel):
+    return family_traits_table(platform=intel, library=library)
+
+
+def test_table1_family_traits(benchmark, library, intel, traits):
+    benchmark.pedantic(
+        lambda: family_traits_table(platform=intel, library=library), rounds=1, iterations=1
+    )
+    emit(traits.format())
+
+    # Strided support: only direct and im2 can implement the strided probe.
+    for family in ("kn2", "winograd", "fft"):
+        assert traits.best_cost["strided"][family] is None
+    assert traits.best_cost["strided"]["direct"] is not None
+    assert traits.best_cost["strided"]["im2"] is not None
+
+    # Time: Winograd is the fastest family on the bread-and-butter K=3 layer,
+    # and the direct loops are the slowest supported family there.
+    k3 = traits.best_cost["k3_mid"]
+    assert traits.fastest_family("k3_mid") == "winograd"
+    assert k3["direct"] == max(v for v in k3.values() if v is not None)
+
+    # Memory: kn2 needs far less workspace than im2; Winograd needs more than kn2.
+    assert traits.workspace["k3_mid"]["kn2"] < traits.workspace["k3_mid"]["im2"]
+    assert traits.workspace["k3_mid"]["winograd"] > traits.workspace["k3_mid"]["kn2"]
+
+    # Bad cases: large images hurt im2 relative to kn2; few channels hurt kn2
+    # relative to im2; a small kernel hurts FFT.
+    assert traits.best_cost["large_image"]["kn2"] < traits.best_cost["large_image"]["im2"]
+    few = traits.best_cost["few_channels"]
+    assert few["im2"] < few["kn2"]
+    k5 = traits.best_cost["k5_layer"]
+    pointwise = traits.best_cost["pointwise"]
+    fft_gap_k5 = k5["fft"] / min(v for v in k5.values() if v is not None)
+    fft_gap_1x1 = pointwise["fft"] / min(v for v in pointwise.values() if v is not None)
+    assert fft_gap_k5 < fft_gap_1x1

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""DAG-shaped selection: GoogLeNet's inception modules.
+
+Figure 3 of the paper motivates the PBQP formulation with the inception
+module: one producer feeds four parallel branches whose outputs are
+concatenated, so a layout decision at the module input constrains (or taxes)
+every branch.  This example optimizes the full GoogLeNet graph, shows the
+selections inside one inception module, and demonstrates the failure mode of
+greedy selection: picking each layer's fastest primitive in isolation incurs
+layout-conversion costs that the PBQP solution avoids.
+
+Run:  python examples/inception_dag.py
+"""
+
+from repro.core.baselines import greedy_ignore_dt_plan, local_optimal_plan, sum2d_plan
+from repro.core.selector import PBQPSelector, SelectionContext
+from repro.cost.platform import PLATFORMS
+from repro.models import build_model
+
+
+def main() -> None:
+    network = build_model("googlenet")
+    platform = PLATFORMS["intel-haswell"]
+    context = SelectionContext.create(network, platform=platform, threads=1)
+
+    pbqp = PBQPSelector().select(context)
+    greedy = greedy_ignore_dt_plan(context)
+    local = local_optimal_plan(context)
+    baseline = sum2d_plan(context)
+
+    print(f"GoogLeNet on {platform.name}: {len(network.conv_layers())} convolution layers, "
+          f"{len(network.edges())} data-flow edges")
+    print()
+    print(f"{'strategy':<28}{'conv ms':>12}{'transform ms':>14}{'total ms':>12}{'speedup':>10}")
+    for plan in (baseline, local, greedy, pbqp):
+        print(
+            f"{plan.strategy:<28}{1e3 * plan.conv_cost:>12.2f}{1e3 * plan.dt_cost:>14.2f}"
+            f"{plan.total_ms:>12.2f}{plan.speedup_over(baseline):>10.2f}"
+        )
+    print()
+    print("Greedy per-layer selection picks marginally faster primitives "
+          f"({1e3 * greedy.conv_cost:.1f} vs {1e3 * pbqp.conv_cost:.1f} ms of convolution) but pays "
+          f"{1e3 * greedy.dt_cost:.1f} ms of layout conversions; PBQP pays only "
+          f"{1e3 * pbqp.dt_cost:.1f} ms.")
+    print()
+
+    # Selections inside one inception module.
+    module = "inception_4c"
+    print(f"Selections inside {module}:")
+    for layer, primitive in pbqp.conv_selections().items():
+        if layer.startswith(module):
+            decision = pbqp.decision(layer)
+            print(f"  {layer:<28} {primitive:<26} "
+                  f"{decision.input_layout.name}->{decision.output_layout.name}")
+    conversions = [edge for edge in pbqp.conversions() if edge.consumer.startswith(module)]
+    print(f"  conversions entering the module: {len(conversions)}")
+
+
+if __name__ == "__main__":
+    main()

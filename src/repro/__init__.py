@@ -1,0 +1,57 @@
+"""repro: reproduction of "Optimal DNN Primitive Selection with PBQP" (Anderson & Gregg, CGO 2018).
+
+The package is organised by subsystem:
+
+* :mod:`repro.layouts` — data layouts, layout tensors and the DT graph;
+* :mod:`repro.graph` — the DNN graph IR (layers, scenarios, networks);
+* :mod:`repro.models` — AlexNet, VGG and GoogLeNet builders;
+* :mod:`repro.primitives` — the library of >70 convolution primitives;
+* :mod:`repro.pbqp` — the PBQP solver;
+* :mod:`repro.cost` — platform models, analytical cost model and profiler;
+* :mod:`repro.core` — the paper's contribution: PBQP-based primitive selection
+  with data layout transformations, plus the baseline strategies;
+* :mod:`repro.runtime` — functional execution of selected network plans;
+* :mod:`repro.experiments` — harnesses regenerating every figure and table.
+
+Quickstart
+----------
+>>> from repro import build_model
+>>> from repro.core import select_primitives
+>>> from repro.cost import PLATFORMS
+>>> network = build_model("alexnet")
+>>> plan = select_primitives(network, platform=PLATFORMS["intel-haswell"])
+>>> plan.total_cost  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+from repro.graph import ConvScenario, Network
+from repro.models import build_model
+from repro.layouts import Layout, LayoutTensor, DTGraph
+
+__all__ = [
+    "__version__",
+    "ConvScenario",
+    "Network",
+    "build_model",
+    "Layout",
+    "LayoutTensor",
+    "DTGraph",
+]
+
+
+def __getattr__(name):
+    """Lazily expose the higher-level API to avoid import cycles at package load."""
+    if name == "select_primitives":
+        from repro.core import select_primitives
+
+        return select_primitives
+    if name == "PLATFORMS":
+        from repro.cost import PLATFORMS
+
+        return PLATFORMS
+    if name == "default_primitive_library":
+        from repro.primitives import default_primitive_library
+
+        return default_primitive_library
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

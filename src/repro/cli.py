@@ -1,0 +1,148 @@
+"""Command-line interface for the reproduction.
+
+Four subcommands cover the workflows a downstream user needs:
+
+* ``repro select``  — run the paper's pipeline (profile, PBQP, legalize) for a
+  zoo model on a modelled platform and print (or save) the plan;
+* ``repro compare`` — evaluate every strategy of the evaluation for one
+  network/platform/thread-count and print the speedup row of the figure;
+* ``repro figures`` — regenerate the full set of whole-network figures;
+* ``repro tables``  — regenerate the absolute-time tables (Tables 2 and 3).
+
+Invoke as ``python -m repro <subcommand> ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.baselines import sum2d_plan
+from repro.core.selector import PBQPSelector, SelectionContext
+from repro.cost.platform import PLATFORMS
+from repro.cost.serialize import save_plan
+from repro.experiments.tables import format_absolute_table, run_absolute_time_table
+from repro.experiments.whole_network import (
+    FIGURE_NETWORKS,
+    format_speedup_table,
+    run_whole_network,
+)
+from repro.models import MODEL_BUILDERS, build_model
+from repro.runtime.codegen import render_schedule
+
+
+def _add_platform_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--platform",
+        choices=sorted(PLATFORMS),
+        default="intel-haswell",
+        help="modelled hardware platform (default: intel-haswell)",
+    )
+
+
+def _add_threads_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--threads", type=int, default=1, help="number of threads to model (default: 1)"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal DNN primitive selection with PBQP (CGO 2018) — reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    select = subparsers.add_parser("select", help="run PBQP primitive selection for a model")
+    select.add_argument("model", choices=sorted(MODEL_BUILDERS), help="model zoo network")
+    _add_platform_argument(select)
+    _add_threads_argument(select)
+    select.add_argument("--schedule", action="store_true", help="print the generated schedule")
+    select.add_argument("--output", help="write the selected plan to this JSON file")
+
+    compare = subparsers.add_parser(
+        "compare", help="evaluate every selection strategy for one model"
+    )
+    compare.add_argument("model", choices=sorted(MODEL_BUILDERS))
+    _add_platform_argument(compare)
+    _add_threads_argument(compare)
+
+    figures = subparsers.add_parser(
+        "figures", help="regenerate the whole-network figures (5/6/7a/7b)"
+    )
+    _add_platform_argument(figures)
+    _add_threads_argument(figures)
+
+    tables = subparsers.add_parser("tables", help="regenerate the absolute-time tables (2/3)")
+    _add_platform_argument(tables)
+
+    return parser
+
+
+def _command_select(args: argparse.Namespace) -> int:
+    network = build_model(args.model)
+    platform = PLATFORMS[args.platform]
+    context = SelectionContext.create(network, platform=platform, threads=args.threads)
+    plan = PBQPSelector().select(context)
+    baseline = sum2d_plan(context)
+    print(plan.summary())
+    print(
+        f"  speedup over SUM2D baseline: {plan.speedup_over(baseline):.2f}x  "
+        f"(solver {plan.metadata['solver_seconds'] * 1e3:.1f} ms, "
+        f"optimal: {plan.metadata['pbqp_optimal']})"
+    )
+    if args.schedule:
+        print()
+        print(render_schedule(network, plan))
+    if args.output:
+        save_plan(plan, args.output)
+        print(f"  plan written to {args.output}")
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    platform = PLATFORMS[args.platform]
+    result = run_whole_network(args.model, platform, threads=args.threads)
+    title = (
+        f"Whole-network comparison — {args.model} on {platform.name}, "
+        f"{args.threads} thread{'s' if args.threads != 1 else ''}"
+    )
+    print(format_speedup_table([result], title))
+    print(f"best strategy: {result.best_strategy()}")
+    return 0
+
+
+def _command_figures(args: argparse.Namespace) -> int:
+    platform = PLATFORMS[args.platform]
+    networks = FIGURE_NETWORKS[platform.name]
+    results = [
+        run_whole_network(name, platform, threads=args.threads) for name in networks
+    ]
+    mode = "multithreaded" if args.threads > 1 else "single-threaded"
+    print(format_speedup_table(results, f"Whole-network speedups on {platform.name} ({mode})"))
+    return 0
+
+
+def _command_tables(args: argparse.Namespace) -> int:
+    platform = PLATFORMS[args.platform]
+    rows = run_absolute_time_table(platform)
+    print(format_absolute_table(rows, f"Single inference time on {platform.name} (ms)"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "select": _command_select,
+        "compare": _command_compare,
+        "figures": _command_figures,
+        "tables": _command_tables,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Legalization: turn per-layer choices into an executable, costed plan.
+
+Section 3 of the paper: "we combine different incompatible primitives using a
+legalization phase.  The legalization phase inserts additional data layout
+conversion layers to bisect illegal edges ...  the legalizer can then select
+one or more data layout transformation primitives to implement the conversion
+layers."
+
+:func:`finalize_plan` performs that phase for any strategy: given the chosen
+primitive for every convolution layer and the chosen layout for every other
+layer, it walks every data-flow edge, looks up the cheapest conversion chain
+between the producer's output layout and the consumer's required input layout
+(the all-pairs shortest paths of the DT graph, already priced in the cost
+tables), and assembles the resulting :class:`~repro.core.plan.NetworkPlan`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, TYPE_CHECKING
+
+from repro.core.plan import EdgeDecision, LayerDecision, NetworkPlan
+from repro.layouts.layout import Layout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.core.selector import SelectionContext
+
+
+class IllegalPlanError(ValueError):
+    """Raised when a required layout conversion has no path in the DT graph."""
+
+
+def finalize_plan(
+    context: "SelectionContext",
+    strategy: str,
+    conv_primitives: Dict[str, str],
+    wildcard_layouts: Dict[str, Layout],
+) -> NetworkPlan:
+    """Legalize per-layer choices into a complete :class:`NetworkPlan`.
+
+    Parameters
+    ----------
+    context:
+        The selection context (network, library, cost tables, platform).
+    strategy:
+        Name recorded on the plan (``"pbqp"``, ``"sum2d"``, ``"winograd"``, ...).
+    conv_primitives:
+        Mapping from convolution layer name to the chosen primitive name.
+    wildcard_layouts:
+        Mapping from every non-convolution layer name to the layout it
+        operates in.
+
+    Raises
+    ------
+    IllegalPlanError
+        If two chosen layouts cannot be connected by any conversion chain.
+    """
+    network = context.network
+    tables = context.tables
+    library = context.library
+
+    missing = {l.name for l in network.conv_layers()} - set(conv_primitives)
+    if missing:
+        raise ValueError(f"no primitive chosen for convolution layers {sorted(missing)}")
+
+    layer_decisions: Dict[str, LayerDecision] = {}
+    for layer in network.topological_order():
+        if layer.is_convolution:
+            primitive_name = conv_primitives[layer.name]
+            primitive = library.get(primitive_name)
+            cost = tables.primitive_cost(layer.name, primitive_name)
+            layer_decisions[layer.name] = LayerDecision(
+                layer=layer.name,
+                primitive=primitive_name,
+                input_layout=primitive.input_layout,
+                output_layout=primitive.output_layout,
+                cost=cost,
+            )
+        else:
+            if layer.name not in wildcard_layouts:
+                raise ValueError(f"no layout chosen for non-convolution layer {layer.name!r}")
+            layout = wildcard_layouts[layer.name]
+            layer_decisions[layer.name] = LayerDecision(
+                layer=layer.name,
+                primitive=None,
+                input_layout=layout,
+                output_layout=layout,
+                cost=0.0,
+            )
+
+    edge_decisions = []
+    for edge in network.edges():
+        producer_decision = layer_decisions[edge.producer]
+        consumer_decision = layer_decisions[edge.consumer]
+        shape = tables.shapes[edge.producer]
+        path = tables.conversion_path(
+            shape, producer_decision.output_layout, consumer_decision.input_layout
+        )
+        if not path.reachable:
+            raise IllegalPlanError(
+                f"edge {edge.producer!r} -> {edge.consumer!r}: no conversion chain from "
+                f"{producer_decision.output_layout.name} to {consumer_decision.input_layout.name}"
+            )
+        edge_decisions.append(
+            EdgeDecision(
+                producer=edge.producer,
+                consumer=edge.consumer,
+                source_layout=producer_decision.output_layout,
+                target_layout=consumer_decision.input_layout,
+                chain=path.chain,
+                cost=path.cost,
+            )
+        )
+
+    return NetworkPlan(
+        network_name=network.name,
+        strategy=strategy,
+        platform_name=context.platform_name,
+        threads=context.threads,
+        layer_decisions=layer_decisions,
+        edge_decisions=edge_decisions,
+    )
+
+
+def follow_producer_layouts(
+    context: "SelectionContext", conv_primitives: Dict[str, str]
+) -> Dict[str, Layout]:
+    """Assign every non-convolution layer the layout of its first producer.
+
+    This models the behaviour of the per-family greedy strategies of the
+    evaluation: non-convolution layers simply operate on whatever layout the
+    data arrives in, and conversions appear only where a convolution demands a
+    different layout than its producer delivered.
+    """
+    from repro.layouts.layout import CHW
+
+    network = context.network
+    library = context.library
+    layouts: Dict[str, Layout] = {}
+    output_layout: Dict[str, Layout] = {}
+    for layer in network.topological_order():
+        producers = network.inputs_of(layer.name)
+        if layer.is_convolution:
+            primitive = library.get(conv_primitives[layer.name])
+            output_layout[layer.name] = primitive.output_layout
+            continue
+        if not producers:
+            layouts[layer.name] = CHW
+        else:
+            layouts[layer.name] = output_layout[producers[0]]
+        output_layout[layer.name] = layouts[layer.name]
+    return layouts
+
+
+def fixed_layouts(context: "SelectionContext", layout: Layout) -> Dict[str, Layout]:
+    """Assign one fixed layout to every non-convolution layer (canonical-layout strategies)."""
+    return {
+        layer.name: layout
+        for layer in context.network.topological_order()
+        if not layer.is_convolution
+    }

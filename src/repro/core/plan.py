@@ -1,0 +1,142 @@
+"""Network plans: the output of primitive selection.
+
+A :class:`NetworkPlan` records, for one network on one platform / thread
+count, which primitive implements each convolution layer, which data layout
+each non-convolution layer operates in, which layout-conversion chains are
+inserted on which edges (the legalization of section 3 of the paper), and the
+resulting cost breakdown.  Plans are produced both by the PBQP selector and by
+every baseline strategy, so the whole evaluation compares like with like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.layouts.layout import Layout
+from repro.layouts.transforms import TransformChain
+
+
+@dataclass
+class LayerDecision:
+    """The selection made for one layer.
+
+    ``primitive`` is the name of the convolution primitive for convolution
+    layers and ``None`` for every other layer kind (which the formulation
+    treats as zero-cost nodes that simply adopt a layout).
+    """
+
+    layer: str
+    primitive: Optional[str]
+    input_layout: Layout
+    output_layout: Layout
+    cost: float = 0.0
+    note: str = ""
+
+
+@dataclass
+class EdgeDecision:
+    """The layout-conversion chain inserted on one data-flow edge."""
+
+    producer: str
+    consumer: str
+    source_layout: Layout
+    target_layout: Layout
+    chain: Optional[TransformChain]
+    cost: float = 0.0
+
+    @property
+    def needs_conversion(self) -> bool:
+        """Whether any transformation is actually executed on this edge."""
+        return self.chain is not None and len(self.chain) > 0
+
+
+@dataclass
+class NetworkPlan:
+    """A complete instantiation of a network with primitives and conversions."""
+
+    network_name: str
+    strategy: str
+    platform_name: str
+    threads: int
+    layer_decisions: Dict[str, LayerDecision] = field(default_factory=dict)
+    edge_decisions: List[EdgeDecision] = field(default_factory=list)
+    #: Extra information recorded by the strategy (e.g. solver statistics).
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- cost breakdown ------------------------------------------------------------
+
+    @property
+    def conv_cost(self) -> float:
+        """Total cost of the selected convolution primitives, in seconds."""
+        return sum(d.cost for d in self.layer_decisions.values())
+
+    @property
+    def dt_cost(self) -> float:
+        """Total cost of the inserted layout conversions, in seconds."""
+        return sum(e.cost for e in self.edge_decisions)
+
+    @property
+    def total_cost(self) -> float:
+        """Whole-network cost in seconds (convolutions plus conversions)."""
+        return self.conv_cost + self.dt_cost
+
+    @property
+    def total_ms(self) -> float:
+        """Whole-network cost in milliseconds."""
+        return 1e3 * self.total_cost
+
+    # -- queries --------------------------------------------------------------------
+
+    def decision(self, layer: str) -> LayerDecision:
+        """The decision recorded for one layer."""
+        return self.layer_decisions[layer]
+
+    def primitive_for(self, layer: str) -> Optional[str]:
+        """Name of the primitive selected for a layer (``None`` for non-conv layers)."""
+        return self.layer_decisions[layer].primitive
+
+    def conv_selections(self) -> Dict[str, str]:
+        """Mapping from convolution layer name to selected primitive name."""
+        return {
+            name: decision.primitive
+            for name, decision in self.layer_decisions.items()
+            if decision.primitive is not None
+        }
+
+    def conversions(self) -> List[EdgeDecision]:
+        """The edges on which a layout conversion is actually executed."""
+        return [edge for edge in self.edge_decisions if edge.needs_conversion]
+
+    def speedup_over(self, baseline: "NetworkPlan") -> float:
+        """Speedup of this plan relative to a baseline plan."""
+        if self.total_cost <= 0:
+            raise ValueError("plan has non-positive total cost")
+        return baseline.total_cost / self.total_cost
+
+    # -- reporting ---------------------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable description of the plan (selection table + cost)."""
+        lines = [
+            f"Plan for {self.network_name!r} [{self.strategy}] on {self.platform_name} "
+            f"({self.threads} thread{'s' if self.threads != 1 else ''})",
+            f"  total {self.total_ms:.2f} ms  (conv {1e3 * self.conv_cost:.2f} ms, "
+            f"layout transforms {1e3 * self.dt_cost:.2f} ms, "
+            f"{len(self.conversions())} conversions)",
+        ]
+        for name, decision in self.layer_decisions.items():
+            if decision.primitive is None:
+                continue
+            lines.append(
+                f"    {name:<24} {decision.primitive:<28} "
+                f"{decision.input_layout.name}->{decision.output_layout.name}  "
+                f"{1e3 * decision.cost:8.3f} ms"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkPlan({self.network_name!r}, strategy={self.strategy!r}, "
+            f"total={self.total_ms:.2f} ms)"
+        )

@@ -1,0 +1,240 @@
+"""The PBQP-based primitive selector (sections 3.2 and 3.3 of the paper).
+
+The encoding follows the paper exactly:
+
+* every DNN layer becomes a PBQP node;
+* a **convolution** node's alternatives are the applicable primitives and its
+  cost vector is the profiled execution time of each (the cost tables);
+* every **other** layer is a "dummy node, accepting any input and output
+  layouts, and having zero cost" (section 5.2) — its alternatives are the
+  layouts of the DT graph, all with zero cost.  The network input is pinned
+  to the canonical CHW layout, since that is the format the data arrives in;
+* every data-flow edge becomes a PBQP edge whose cost matrix is indexed by
+  the producer's output layout and the consumer's input layout and holds the
+  cheapest layout-conversion chain cost for the tensor shape flowing across
+  that edge (all-pairs shortest paths over the DT graph, section 3.1);
+* the PBQP solver finds the minimum-cost assignment, which the legalizer
+  turns into an executable :class:`~repro.core.plan.NetworkPlan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.legalize import finalize_plan
+from repro.core.plan import NetworkPlan
+from repro.cost.analytical import AnalyticalCostModel
+from repro.cost.model import CostModel
+from repro.cost.platform import Platform
+from repro.cost.tables import CostTables, build_cost_tables
+from repro.graph.layer import LayerKind
+from repro.graph.network import Network
+from repro.layouts.dt_graph import DTGraph
+from repro.layouts.layout import CHW, Layout
+from repro.layouts.transforms import default_transform_library
+from repro.pbqp.graph import PBQPGraph
+from repro.pbqp.solver import PBQPSolver
+from repro.primitives.registry import PrimitiveLibrary, default_primitive_library
+
+
+@dataclass
+class SelectionContext:
+    """Everything a selection strategy needs about one (network, platform, threads).
+
+    Build one with :meth:`SelectionContext.create`; the cost tables are
+    profiled once at construction and shared by every strategy, mirroring the
+    paper's "profile once, ship the cost tables" workflow.
+    """
+
+    network: Network
+    library: PrimitiveLibrary
+    dt_graph: DTGraph
+    cost_model: CostModel
+    platform_name: str
+    threads: int
+    tables: CostTables
+    platform: Optional[Platform] = None
+    _single_thread_tables: Optional[CostTables] = field(default=None, repr=False)
+
+    @property
+    def platform_vector_width(self) -> int:
+        """Native FP32 SIMD width of the target platform (defaults to 8)."""
+        return self.platform.vector_width if self.platform is not None else 8
+
+    @property
+    def tables_single_thread(self) -> CostTables:
+        """Cost tables profiled for single-threaded execution.
+
+        Used by the framework emulations, which apply their own (poorer)
+        multithreaded scaling on top of single-thread costs.
+        """
+        if self.threads == 1:
+            return self.tables
+        if self._single_thread_tables is None:
+            self._single_thread_tables = build_cost_tables(
+                self.network, self.library, self.dt_graph, self.cost_model, threads=1
+            )
+        return self._single_thread_tables
+
+    @classmethod
+    def create(
+        cls,
+        network: Network,
+        platform: Optional[Platform] = None,
+        cost_model: Optional[CostModel] = None,
+        library: Optional[PrimitiveLibrary] = None,
+        dt_graph: Optional[DTGraph] = None,
+        threads: int = 1,
+    ) -> "SelectionContext":
+        """Assemble a context, defaulting every component sensibly.
+
+        Either ``platform`` (priced with the analytical model) or an explicit
+        ``cost_model`` must be provided; if both are given the explicit cost
+        model wins.
+        """
+        if cost_model is None:
+            if platform is None:
+                raise ValueError("provide either a platform or a cost model")
+            cost_model = AnalyticalCostModel(platform)
+        platform_name = platform.name if platform is not None else type(cost_model).__name__
+        library = library if library is not None else default_primitive_library()
+        if dt_graph is None:
+            dt_graph = DTGraph(library.layouts_used(), default_transform_library())
+        tables = build_cost_tables(network, library, dt_graph, cost_model, threads=threads)
+        return cls(
+            network=network,
+            library=library,
+            dt_graph=dt_graph,
+            cost_model=cost_model,
+            platform_name=platform_name,
+            threads=threads,
+            tables=tables,
+            platform=platform,
+        )
+
+
+class PBQPSelector:
+    """Encode primitive selection as PBQP, solve it, and emit a plan."""
+
+    def __init__(self, solver: Optional[PBQPSolver] = None) -> None:
+        self.solver = solver or PBQPSolver()
+
+    # -- encoding -----------------------------------------------------------------
+
+    def build_pbqp(self, context: SelectionContext) -> Tuple[PBQPGraph, Dict[int, str]]:
+        """Build the PBQP instance for a selection context.
+
+        Returns the graph and a mapping from PBQP node id to DNN layer name.
+        """
+        network = context.network
+        tables = context.tables
+        library = context.library
+        layouts = context.dt_graph.layouts
+
+        graph = PBQPGraph()
+        node_of_layer: Dict[str, int] = {}
+        id_to_layer: Dict[int, str] = {}
+
+        for layer in network.topological_order():
+            if layer.is_convolution:
+                costs = tables.node_costs[layer.name]
+                labels = sorted(costs)
+                vector = [costs[name] for name in labels]
+            elif layer.kind is LayerKind.INPUT:
+                # The network input arrives in the canonical layout.
+                labels = [CHW.name]
+                vector = [0.0]
+            else:
+                labels = [layout.name for layout in layouts]
+                vector = [0.0] * len(labels)
+            node_id = graph.add_node(vector, name=layer.name, labels=labels)
+            node_of_layer[layer.name] = node_id
+            id_to_layer[node_id] = layer.name
+
+        for edge in network.edges():
+            producer = network.layer(edge.producer)
+            consumer = network.layer(edge.consumer)
+            shape = tables.shapes[edge.producer]
+            out_layouts = self._alternative_layouts(context, producer, output=True)
+            in_layouts = self._alternative_layouts(context, consumer, output=False)
+            matrix = [
+                [
+                    tables.dt_costs[shape][(src.name, dst.name)]
+                    for dst in in_layouts
+                ]
+                for src in out_layouts
+            ]
+            graph.add_edge(node_of_layer[edge.producer], node_of_layer[edge.consumer], matrix)
+
+        return graph, id_to_layer
+
+    def _alternative_layouts(
+        self, context: SelectionContext, layer, output: bool
+    ) -> List[Layout]:
+        """The layout implied by each alternative of a layer's PBQP node."""
+        if layer.is_convolution:
+            labels = sorted(context.tables.node_costs[layer.name])
+            primitives = [context.library.get(name) for name in labels]
+            return [p.output_layout if output else p.input_layout for p in primitives]
+        if layer.kind is LayerKind.INPUT:
+            return [CHW]
+        return context.dt_graph.layouts
+
+    # -- solving ---------------------------------------------------------------------
+
+    def select(self, context: SelectionContext) -> NetworkPlan:
+        """Solve the selection problem and return the legalized plan."""
+        graph, id_to_layer = self.build_pbqp(context)
+        solution = self.solver.solve(graph)
+
+        conv_primitives: Dict[str, str] = {}
+        wildcard_layouts: Dict[str, Layout] = {}
+        layout_by_name = {layout.name: layout for layout in context.dt_graph.layouts}
+        layout_by_name.setdefault(CHW.name, CHW)
+
+        for node_id, index in solution.assignment.items():
+            layer_name = id_to_layer[node_id]
+            layer = context.network.layer(layer_name)
+            label = graph.node(node_id).label_of(index)
+            if layer.is_convolution:
+                conv_primitives[layer_name] = label
+            else:
+                wildcard_layouts[layer_name] = layout_by_name[label]
+
+        plan = finalize_plan(context, "pbqp", conv_primitives, wildcard_layouts)
+        stats = self.solver.last_stats
+        plan.metadata.update(
+            {
+                "pbqp_cost": solution.cost,
+                "pbqp_optimal": solution.optimal,
+                "pbqp_nodes": graph.num_nodes,
+                "pbqp_edges": graph.num_edges,
+                "solver_seconds": stats.solve_seconds if stats else None,
+                "solver_reductions": stats.total_reductions() if stats else None,
+            }
+        )
+        return plan
+
+
+def select_primitives(
+    network: Network,
+    platform: Optional[Platform] = None,
+    cost_model: Optional[CostModel] = None,
+    library: Optional[PrimitiveLibrary] = None,
+    dt_graph: Optional[DTGraph] = None,
+    threads: int = 1,
+) -> NetworkPlan:
+    """One-call convenience API: profile, encode, solve and legalize.
+
+    This is the entry point shown in the README quickstart.
+    """
+    context = SelectionContext.create(
+        network,
+        platform=platform,
+        cost_model=cost_model,
+        library=library,
+        dt_graph=dt_graph,
+        threads=threads,
+    )
+    return PBQPSelector().select(context)

@@ -1,0 +1,31 @@
+"""Cost modelling: hardware platforms, analytical costs, and wall-clock profiling.
+
+The paper drives selection with per-layer *profiled* execution times of
+hand-optimized primitives on two physical machines (Intel Core i5-4570 and
+ARM Cortex-A57).  This reproduction substitutes an **analytical platform
+model** (:class:`~repro.cost.analytical.AnalyticalCostModel`) calibrated to
+the characteristics of those two processors, plus a **wall-clock profiler**
+(:class:`~repro.cost.profiler.WallClockProfiler`) that times the numpy-backed
+primitives on the host machine.  Both implement the same
+:class:`~repro.cost.model.CostModel` interface, so either can feed the
+selector; the analytical model is what regenerates the paper's figures (see
+DESIGN.md section 2 for the substitution rationale).
+"""
+
+from repro.cost.platform import Platform, PLATFORMS, intel_haswell, arm_cortex_a57
+from repro.cost.model import CostModel
+from repro.cost.analytical import AnalyticalCostModel
+from repro.cost.profiler import WallClockProfiler
+from repro.cost.tables import CostTables, build_cost_tables
+
+__all__ = [
+    "Platform",
+    "PLATFORMS",
+    "intel_haswell",
+    "arm_cortex_a57",
+    "CostModel",
+    "AnalyticalCostModel",
+    "WallClockProfiler",
+    "CostTables",
+    "build_cost_tables",
+]

@@ -1,0 +1,144 @@
+"""Hardware platform descriptions.
+
+The paper evaluates on two machines:
+
+* **Intel Core i5-4570** (Haswell): 4 cores at 3.2 GHz, AVX2 (8-lane FP32 FMA),
+  32 KiB L1 / 256 KiB L2 per core and a 6 MiB shared L3;
+* **ARM Cortex-A57** (NVIDIA Tegra X1): 4 cores at 1.9 GHz, NEON (4-lane FP32
+  FMA), 32 KiB L1 / 48 KiB L1D per core, a 2 MiB shared L2 and no L3, with
+  far lower memory bandwidth.
+
+A :class:`Platform` captures the parameters the analytical cost model prices:
+SIMD width, per-core arithmetic throughput, the cache hierarchy and the
+memory-system bandwidths, plus a handful of calibration factors describing
+how efficiently layout-transformation code and vendor frameworks use the
+machine.  The numbers are public figures for the two processors; the model
+only relies on their *relative* magnitudes to reproduce the shape of the
+paper's results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Platform:
+    """An execution platform priced by the analytical cost model.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports (``"intel-haswell"``, ``"arm-cortex-a57"``).
+    cores:
+        Number of CPU cores available for multithreaded execution.
+    frequency_ghz:
+        Core clock frequency.
+    vector_width:
+        Native FP32 SIMD lanes (8 for AVX2, 4 for NEON).
+    fma_per_cycle:
+        Fused multiply-add instructions issued per cycle per core (2 for
+        Haswell's dual FMA pipes, 1 for the Cortex-A57).
+    l1_kib, l2_kib, l3_kib:
+        Cache sizes; ``l2_shared`` / ``l3_kib = 0`` describe the ARM part's
+        shared L2 and missing L3.
+    l2_shared:
+        Whether the L2 is shared between cores (true for the Cortex-A57).
+    cache_bandwidth_gbps:
+        Sustainable bandwidth when the working set fits in the last-level
+        cache.
+    dram_bandwidth_gbps:
+        Sustainable DRAM streaming bandwidth.
+    transform_efficiency:
+        Fraction of streaming bandwidth achieved by data-layout
+        transformation routines (strided gather/scatter loops run far below
+        memcpy speed, especially on the in-order-ish ARM memory system).
+    mt_bandwidth_scaling:
+        Factor by which usable bandwidth grows when all cores stream
+        simultaneously (memory systems do not scale with core count).
+    framework_overhead_ms:
+        Fixed per-layer dispatch/allocation overhead charged to the vendor
+        framework comparators (Caffe-class frameworks re-allocate column
+        buffers and spawn OpenBLAS threads per layer).
+    """
+
+    name: str
+    cores: int
+    frequency_ghz: float
+    vector_width: int
+    fma_per_cycle: float
+    l1_kib: int
+    l2_kib: int
+    l3_kib: int
+    l2_shared: bool
+    cache_bandwidth_gbps: float
+    dram_bandwidth_gbps: float
+    transform_efficiency: float
+    mt_bandwidth_scaling: float
+    framework_overhead_ms: float
+
+    # -- derived throughputs ----------------------------------------------------
+
+    def peak_gflops_per_core(self, vector_lanes: int) -> float:
+        """Peak GFLOP/s of one core using ``vector_lanes`` FP32 lanes per FMA."""
+        lanes = max(1, min(vector_lanes, self.vector_width))
+        return self.frequency_ghz * self.fma_per_cycle * 2.0 * lanes
+
+    def last_level_cache_bytes(self) -> int:
+        """Capacity of the last level of cache shared by the cores."""
+        if self.l3_kib > 0:
+            return self.l3_kib * 1024
+        return self.l2_kib * 1024
+
+    def per_core_cache_bytes(self) -> int:
+        """Private cache capacity of a single core."""
+        if self.l2_shared:
+            return self.l1_kib * 1024
+        return self.l2_kib * 1024
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+#: Intel Core i5-4570 (Haswell) as used in the paper's desktop evaluation.
+intel_haswell = Platform(
+    name="intel-haswell",
+    cores=4,
+    frequency_ghz=3.2,
+    vector_width=8,
+    fma_per_cycle=2.0,
+    l1_kib=32,
+    l2_kib=256,
+    l3_kib=6144,
+    l2_shared=False,
+    cache_bandwidth_gbps=180.0,
+    dram_bandwidth_gbps=21.0,
+    transform_efficiency=0.05,
+    mt_bandwidth_scaling=1.6,
+    framework_overhead_ms=6.0,
+)
+
+#: ARM Cortex-A57 (NVIDIA Tegra X1) as used in the paper's embedded evaluation.
+arm_cortex_a57 = Platform(
+    name="arm-cortex-a57",
+    cores=4,
+    frequency_ghz=1.9,
+    vector_width=4,
+    fma_per_cycle=1.0,
+    l1_kib=32,
+    l2_kib=2048,
+    l3_kib=0,
+    l2_shared=True,
+    cache_bandwidth_gbps=35.0,
+    dram_bandwidth_gbps=10.0,
+    transform_efficiency=0.015,
+    mt_bandwidth_scaling=1.4,
+    framework_overhead_ms=25.0,
+)
+
+#: All platforms known to the reproduction, keyed by name.
+PLATFORMS: Dict[str, Platform] = {
+    intel_haswell.name: intel_haswell,
+    arm_cortex_a57.name: arm_cortex_a57,
+}

@@ -1,0 +1,100 @@
+"""Wall-clock profiler: measure primitives on the host machine.
+
+Section 3.1 of the paper: "to estimate the cost of a specific assignment of a
+primitive to a DNN layer, we profile the execution time of the primitive
+operating on tensors of the size used in the layer ...  statically-measured
+execution times on random input of the appropriate size give a very good
+estimate of the actual execution time."
+
+:class:`WallClockProfiler` does exactly that for the numpy-backed primitives
+in this reproduction: it executes each primitive (and each direct layout
+transformation) on random tensors of the right shape and records the best of
+a few repetitions.  It implements the same interface as the analytical model,
+so it can drive the selector directly — used by the examples and integration
+tests on host-sized scenarios.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.graph.scenario import ConvScenario
+from repro.layouts.tensor import LayoutTensor
+from repro.layouts.transforms import LayoutTransform
+from repro.primitives.base import ConvPrimitive
+
+
+class WallClockProfiler:
+    """Measure primitive and transformation execution times on the host.
+
+    Parameters
+    ----------
+    repetitions:
+        Number of timed runs per measurement; the minimum is kept, which is
+        the standard way to suppress scheduling noise for short kernels.
+    warmup:
+        Untimed runs executed first (to populate caches and JIT-like lazy
+        initialization inside numpy).
+    seed:
+        Seed for the random input generator, so profiles are reproducible.
+    """
+
+    def __init__(self, repetitions: int = 3, warmup: int = 1, seed: int = 0) -> None:
+        if repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+        if warmup < 0:
+            raise ValueError("warmup must be >= 0")
+        self.repetitions = repetitions
+        self.warmup = warmup
+        self._rng = np.random.default_rng(seed)
+        self._primitive_cache: Dict[Tuple[str, ConvScenario, int], float] = {}
+        self._transform_cache: Dict[Tuple[str, Tuple[int, int, int], int], float] = {}
+
+    # -- measurements ------------------------------------------------------------
+
+    def primitive_cost(
+        self, primitive: ConvPrimitive, scenario: ConvScenario, threads: int = 1
+    ) -> float:
+        """Measured execution time (seconds) of ``primitive`` on ``scenario``.
+
+        ``threads`` is accepted for interface compatibility; the numpy
+        primitives run with whatever threading the host BLAS provides, so the
+        parameter does not change the measurement.
+        """
+        key = (primitive.name, scenario, threads)
+        if key in self._primitive_cache:
+            return self._primitive_cache[key]
+        x = self._rng.standard_normal(scenario.input_shape).astype(np.float32)
+        kernel = self._rng.standard_normal(scenario.kernel_shape).astype(np.float32)
+        tensor = LayoutTensor.from_chw(x, primitive.input_layout)
+        for _ in range(self.warmup):
+            primitive.execute(tensor, kernel, scenario)
+        best = float("inf")
+        for _ in range(self.repetitions):
+            start = time.perf_counter()
+            primitive.execute(tensor, kernel, scenario)
+            best = min(best, time.perf_counter() - start)
+        self._primitive_cache[key] = best
+        return best
+
+    def transform_cost(
+        self, transform: LayoutTransform, shape: Tuple[int, int, int], threads: int = 1
+    ) -> float:
+        """Measured execution time (seconds) of one direct layout transformation."""
+        key = (transform.name, shape, threads)
+        if key in self._transform_cache:
+            return self._transform_cache[key]
+        x = self._rng.standard_normal(shape).astype(np.float32)
+        tensor = LayoutTensor.from_chw(x, transform.source)
+        for _ in range(self.warmup):
+            transform.apply(tensor)
+        best = float("inf")
+        for _ in range(self.repetitions):
+            start = time.perf_counter()
+            transform.apply(tensor)
+            best = min(best, time.perf_counter() - start)
+        self._transform_cache[key] = best
+        return best

@@ -1,0 +1,139 @@
+"""Cost tables: the profiled data the PBQP query is built from.
+
+Section 4 of the paper: "layerwise profiling need only be run once per
+hardware platform per DNN model.  The resulting cost tables are tiny compared
+to the weight data required for most DNN models, making it feasible to
+produce these cost tables before deployment, and ship them with the trained
+model."
+
+:class:`CostTables` is that artifact: for one network, platform/cost-model and
+thread count it records
+
+* the execution cost of every applicable primitive for every convolution
+  layer (the PBQP node costs), and
+* for every data-flow edge of the network, the cheapest layout-conversion
+  chain between every ordered pair of layouts at that edge's tensor shape
+  (the PBQP edge costs), taken from the all-pairs shortest paths of the DT
+  graph (section 3.1).
+
+Tables are cost-model agnostic: they can be built from the analytical
+platform model or from the wall-clock profiler.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cost.model import CostModel
+from repro.graph.network import Network
+from repro.graph.scenario import ConvScenario
+from repro.layouts.dt_graph import DTGraph, DTPath
+from repro.layouts.layout import Layout
+from repro.primitives.registry import PrimitiveLibrary
+
+Shape = Tuple[int, int, int]
+
+
+@dataclass
+class CostTables:
+    """Profiled node and edge cost data for one (network, platform, threads) triple."""
+
+    network_name: str
+    threads: int
+    #: Convolutional scenario of every convolution layer.
+    scenarios: Dict[str, ConvScenario]
+    #: Output tensor shape of every layer.
+    shapes: Dict[str, Shape]
+    #: layer name -> primitive name -> execution cost in seconds.
+    node_costs: Dict[str, Dict[str, float]]
+    #: tensor shape -> (source layout name, target layout name) -> cheapest DT path.
+    dt_paths: Dict[Shape, Dict[Tuple[str, str], DTPath]]
+    #: tensor shape -> (source layout name, target layout name) -> cost in seconds.
+    dt_costs: Dict[Shape, Dict[Tuple[str, str], float]]
+
+    def primitive_cost(self, layer: str, primitive: str) -> float:
+        """Cost of implementing ``layer`` with ``primitive``."""
+        return self.node_costs[layer][primitive]
+
+    def cheapest_primitive(self, layer: str) -> Tuple[str, float]:
+        """The fastest primitive for a layer, considered in isolation."""
+        costs = self.node_costs[layer]
+        name = min(costs, key=costs.get)
+        return name, costs[name]
+
+    def conversion_cost(self, shape: Shape, source: Layout, target: Layout) -> float:
+        """Cheapest conversion cost between two layouts at a tensor shape."""
+        return self.dt_costs[shape][(source.name, target.name)]
+
+    def conversion_path(self, shape: Shape, source: Layout, target: Layout) -> DTPath:
+        """Cheapest conversion chain between two layouts at a tensor shape."""
+        return self.dt_paths[shape][(source.name, target.name)]
+
+    def layers(self) -> List[str]:
+        """Names of the convolution layers covered by these tables."""
+        return list(self.node_costs.keys())
+
+    def table_entries(self) -> int:
+        """Total number of profiled numbers held (the paper notes this is tiny)."""
+        nodes = sum(len(costs) for costs in self.node_costs.values())
+        edges = sum(len(costs) for costs in self.dt_costs.values())
+        return nodes + edges
+
+
+def build_cost_tables(
+    network: Network,
+    library: PrimitiveLibrary,
+    dt_graph: DTGraph,
+    cost_model: CostModel,
+    threads: int = 1,
+) -> CostTables:
+    """Profile a network against a primitive library on a cost model.
+
+    For every convolution layer the cost of every *applicable* primitive is
+    recorded; for every distinct tensor shape appearing on a data-flow edge
+    the all-pairs cheapest layout conversions are recorded.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    scenarios = network.conv_scenarios()
+    shapes = network.infer_shapes()
+
+    node_costs: Dict[str, Dict[str, float]] = {}
+    for layer_name, scenario in scenarios.items():
+        per_primitive: Dict[str, float] = {}
+        for primitive in library.applicable(scenario):
+            per_primitive[primitive.name] = cost_model.primitive_cost(
+                primitive, scenario, threads=threads
+            )
+        if not per_primitive:
+            raise ValueError(
+                f"no primitive in the library supports layer {layer_name!r} "
+                f"[{scenario.describe()}]"
+            )
+        node_costs[layer_name] = per_primitive
+
+    # Every distinct producer-output shape needs one all-pairs DT solution.
+    edge_shapes = {shapes[edge.producer] for edge in network.edges()}
+    dt_paths: Dict[Shape, Dict[Tuple[str, str], DTPath]] = {}
+    dt_costs: Dict[Shape, Dict[Tuple[str, str], float]] = {}
+    for shape in edge_shapes:
+        paths = dt_graph.all_pairs_shortest_paths(
+            shape,
+            cost_fn=lambda transform, s: cost_model.transform_cost(
+                transform, s, threads=threads
+            ),
+        )
+        dt_paths[shape] = paths
+        dt_costs[shape] = {pair: path.cost for pair, path in paths.items()}
+
+    return CostTables(
+        network_name=network.name,
+        threads=threads,
+        scenarios=scenarios,
+        shapes=shapes,
+        node_costs=node_costs,
+        dt_paths=dt_paths,
+        dt_costs=dt_costs,
+    )

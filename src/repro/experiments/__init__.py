@@ -1,0 +1,46 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each module corresponds to one artifact of the evaluation section (see the
+per-experiment index in DESIGN.md):
+
+* :mod:`repro.experiments.whole_network` — Figures 5, 6, 7a, 7b (whole-network
+  speedup over the single-threaded SUM2D baseline, per strategy);
+* :mod:`repro.experiments.tables` — Tables 2 and 3 (absolute single-inference
+  times for SUM2D / Local Optimal / PBQP / Caffe);
+* :mod:`repro.experiments.selections` — Figure 4 (the primitives PBQP selects
+  for AlexNet on the two platforms);
+* :mod:`repro.experiments.family_traits` — Table 1 (qualitative strengths and
+  weaknesses of the algorithm families);
+* :mod:`repro.experiments.overhead` — section 5.4 (PBQP solve time);
+* :mod:`repro.experiments.pbqp_example` — Figure 2 (the worked PBQP example);
+* :mod:`repro.experiments.ablation` — the design-choice ablations called out
+  in DESIGN.md (DT-cost awareness, exact vs heuristic solving).
+"""
+
+from repro.experiments.whole_network import (
+    WholeNetworkResult,
+    run_whole_network,
+    format_speedup_table,
+    FIGURE_STRATEGIES,
+)
+from repro.experiments.tables import run_absolute_time_table, format_absolute_table
+from repro.experiments.selections import alexnet_selection_comparison
+from repro.experiments.overhead import solver_overhead_report
+from repro.experiments.family_traits import family_traits_table
+from repro.experiments.pbqp_example import figure2_example
+from repro.experiments.ablation import dt_cost_ablation, solver_mode_ablation
+
+__all__ = [
+    "WholeNetworkResult",
+    "run_whole_network",
+    "format_speedup_table",
+    "FIGURE_STRATEGIES",
+    "run_absolute_time_table",
+    "format_absolute_table",
+    "alexnet_selection_comparison",
+    "solver_overhead_report",
+    "family_traits_table",
+    "figure2_example",
+    "dt_cost_ablation",
+    "solver_mode_ablation",
+]

@@ -1,0 +1,72 @@
+"""PBQP selections for AlexNet on the two platforms (Figure 4 of the paper).
+
+Figure 4 shows which primitive the PBQP formulation selects for each of
+AlexNet's five convolution layers under multithreaded execution on the ARM
+Cortex-A57 and the Intel Core i5-4570.  The paper highlights three structural
+properties of the selections, which the reproduction checks:
+
+* conv1 (the K=11, stride-4 layer) gets an im2-family primitive on both
+  platforms — no fast algorithm applies to it;
+* the remaining layers get Winograd-family primitives on both platforms;
+* the Intel selection favours 2D Winograd with 8-wide (AVX2) vector variants,
+  while the ARM selection favours the low-memory 1D Winograd form and 4-wide
+  (NEON) vector variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.selector import PBQPSelector, SelectionContext
+from repro.cost.platform import PLATFORMS, Platform
+from repro.models import build_model
+from repro.primitives.registry import PrimitiveLibrary, default_primitive_library
+
+
+@dataclass
+class SelectionComparison:
+    """The per-layer PBQP selections on two platforms."""
+
+    network: str
+    threads: int
+    #: platform name -> layer name -> selected primitive name.
+    selections: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def layers(self) -> List[str]:
+        first = next(iter(self.selections.values()))
+        return list(first.keys())
+
+    def format(self) -> str:
+        platforms = list(self.selections.keys())
+        header = f"{'layer':<12}" + "".join(f"{p:>28}" for p in platforms)
+        lines = [
+            f"PBQP selections for {self.network} (threads={self.threads})",
+            header,
+            "-" * len(header),
+        ]
+        for layer in self.layers():
+            row = f"{layer:<12}"
+            for platform in platforms:
+                row += f"{self.selections[platform][layer]:>28}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def alexnet_selection_comparison(
+    threads: int = 4,
+    platforms: Optional[List[Platform]] = None,
+    library: Optional[PrimitiveLibrary] = None,
+) -> SelectionComparison:
+    """Reproduce Figure 4: the PBQP selections for AlexNet on ARM and Intel."""
+    platforms = platforms or [PLATFORMS["arm-cortex-a57"], PLATFORMS["intel-haswell"]]
+    library = library or default_primitive_library()
+    comparison = SelectionComparison(network="alexnet", threads=threads)
+    for platform in platforms:
+        network = build_model("alexnet")
+        context = SelectionContext.create(
+            network, platform=platform, library=library, threads=threads
+        )
+        plan = PBQPSelector().select(context)
+        comparison.selections[platform.name] = plan.conv_selections()
+    return comparison

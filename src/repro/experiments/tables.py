@@ -1,0 +1,78 @@
+"""Absolute single-inference times (Tables 2 and 3 of the paper).
+
+Table 2 reports the single-inference time in milliseconds on the Intel Core
+i5-4570 and Table 3 on the ARM Cortex-A57, for AlexNet and GoogLeNet, under
+single-threaded and multithreaded execution, for four instantiations: the
+SUM2D baseline, the Local Optimal (CHW) strategy, the PBQP selection, and
+Caffe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.baselines import local_optimal_plan, sum2d_plan
+from repro.core.frameworks import caffe_like_plan
+from repro.core.selector import PBQPSelector, SelectionContext
+from repro.cost.platform import Platform
+from repro.models import build_model
+from repro.primitives.registry import PrimitiveLibrary
+
+#: The columns of Tables 2 and 3, in paper order.
+TABLE_COLUMNS: List[str] = ["SUM2D", "L.OPT", "PBQP", "CAFFE"]
+
+#: The networks of Tables 2 and 3 (the subset that runs on both platforms).
+TABLE_NETWORKS: List[str] = ["alexnet", "googlenet"]
+
+
+@dataclass
+class AbsoluteTimeRow:
+    """One row of Table 2 / Table 3."""
+
+    network: str
+    threads: int
+    times_ms: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mode(self) -> str:
+        """The (S)/(M) marker the paper uses for single/multi-threaded rows."""
+        return "M" if self.threads > 1 else "S"
+
+
+def run_absolute_time_table(
+    platform: Platform,
+    networks: Optional[List[str]] = None,
+    thread_counts: Tuple[int, ...] = (1, 4),
+    library: Optional[PrimitiveLibrary] = None,
+) -> List[AbsoluteTimeRow]:
+    """Compute every row of Table 2 (Intel) or Table 3 (ARM) for a platform."""
+    networks = networks if networks is not None else list(TABLE_NETWORKS)
+    rows: List[AbsoluteTimeRow] = []
+    for threads in thread_counts:
+        for model_name in networks:
+            network = build_model(model_name)
+            context = SelectionContext.create(
+                network, platform=platform, library=library, threads=threads
+            )
+            row = AbsoluteTimeRow(network=model_name, threads=threads)
+            row.times_ms["SUM2D"] = sum2d_plan(context).total_ms
+            row.times_ms["L.OPT"] = local_optimal_plan(context).total_ms
+            row.times_ms["PBQP"] = PBQPSelector().select(context).total_ms
+            row.times_ms["CAFFE"] = caffe_like_plan(context).total_ms
+            rows.append(row)
+    return rows
+
+
+def format_absolute_table(rows: List[AbsoluteTimeRow], title: str) -> str:
+    """Render rows in the layout of Tables 2 and 3."""
+    header = f"{'Network':<18}" + "".join(f"{column:>12}" for column in TABLE_COLUMNS)
+    lines = [title, header, "-" * len(header)]
+    for row in rows:
+        label = f"({row.mode}) {row.network}"
+        line = f"{label:<18}"
+        for column in TABLE_COLUMNS:
+            line += f"{row.times_ms[column]:>12.2f}"
+        lines.append(line)
+    lines.append("(single inference time in ms; lower is better)")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Whole-network benchmarking harness (Figures 5, 6, 7a and 7b of the paper).
+
+The paper's figures plot, for each network and strategy, the speedup of one
+forward pass over a common baseline: the whole network implemented with the
+single-threaded sum-of-single-channels (SUM2D) algorithm.  The strategies are
+the five per-family greedy instantiations (direct, im2, kn2, Winograd, fft),
+the canonical-layout "Local Optimal (CHW)" strategy, the PBQP selection, and
+the vendor frameworks available on each platform (MKL-DNN and Caffe on Intel,
+ARM Compute Library and Caffe on ARM).
+
+:func:`run_whole_network` evaluates every strategy for one
+(network, platform, thread-count) combination and returns a
+:class:`WholeNetworkResult` whose rows mirror the bars of the corresponding
+figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.baselines import (
+    family_greedy_plan,
+    greedy_ignore_dt_plan,
+    local_optimal_plan,
+    sum2d_plan,
+)
+from repro.core.frameworks import armcl_like_plan, caffe_like_plan, mkldnn_like_plan
+from repro.core.plan import NetworkPlan
+from repro.core.selector import PBQPSelector, SelectionContext
+from repro.cost.platform import PLATFORMS, Platform
+from repro.models import build_model
+from repro.primitives.base import PrimitiveFamily
+from repro.primitives.registry import PrimitiveLibrary
+
+#: The bar order used by the paper's figures.
+FIGURE_STRATEGIES: List[str] = [
+    "direct",
+    "im2",
+    "kn2",
+    "winograd",
+    "fft",
+    "local_optimal",
+    "pbqp",
+    "mkldnn",
+    "armcl",
+    "caffe",
+]
+
+#: Networks per figure, exactly as in the paper (VGG-B/C/E do not fit on the
+#: embedded board, so the ARM figures cover AlexNet and GoogLeNet only).
+FIGURE_NETWORKS: Dict[str, List[str]] = {
+    "intel-haswell": ["alexnet", "vgg-b", "vgg-c", "vgg-e", "googlenet"],
+    "arm-cortex-a57": ["alexnet", "googlenet"],
+}
+
+
+@dataclass
+class WholeNetworkResult:
+    """All strategy measurements for one (network, platform, threads) cell."""
+
+    network: str
+    platform: str
+    threads: int
+    #: Total time of the common baseline (single-threaded SUM2D), in ms.
+    baseline_ms: float
+    #: Strategy name -> total time in ms.
+    times_ms: Dict[str, float] = field(default_factory=dict)
+    #: Strategy name -> the full plan (for inspection of selections).
+    plans: Dict[str, NetworkPlan] = field(default_factory=dict)
+
+    def speedup(self, strategy: str) -> float:
+        """Speedup of a strategy over the common single-threaded SUM2D baseline."""
+        return self.baseline_ms / self.times_ms[strategy]
+
+    def speedups(self) -> Dict[str, float]:
+        """Speedups of every evaluated strategy, in figure bar order."""
+        return {
+            name: self.speedup(name)
+            for name in FIGURE_STRATEGIES
+            if name in self.times_ms
+        }
+
+    def best_strategy(self) -> str:
+        """The fastest strategy for this cell."""
+        return min(self.times_ms, key=self.times_ms.get)
+
+
+def run_whole_network(
+    model_name: str,
+    platform: Platform,
+    threads: int = 1,
+    library: Optional[PrimitiveLibrary] = None,
+    include_frameworks: bool = True,
+) -> WholeNetworkResult:
+    """Evaluate every strategy of the figures for one network/platform/threads.
+
+    The speedup baseline is always the *single-threaded* SUM2D instantiation,
+    matching the paper's methodology ("all bars represent a speedup over a
+    common baseline ... with single-threaded execution").
+    """
+    network = build_model(model_name)
+    context = SelectionContext.create(
+        network, platform=platform, library=library, threads=threads
+    )
+    if threads == 1:
+        baseline_context = context
+    else:
+        baseline_context = SelectionContext.create(
+            network, platform=platform, library=context.library, dt_graph=context.dt_graph, threads=1
+        )
+
+    baseline = sum2d_plan(baseline_context)
+    result = WholeNetworkResult(
+        network=model_name,
+        platform=platform.name,
+        threads=threads,
+        baseline_ms=baseline.total_ms,
+    )
+    result.plans["sum2d_baseline"] = baseline
+
+    def record(name: str, plan: NetworkPlan) -> None:
+        result.times_ms[name] = plan.total_ms
+        result.plans[name] = plan
+
+    for family in (
+        PrimitiveFamily.DIRECT,
+        PrimitiveFamily.IM2,
+        PrimitiveFamily.KN2,
+        PrimitiveFamily.WINOGRAD,
+        PrimitiveFamily.FFT,
+    ):
+        record(family.value, family_greedy_plan(context, family))
+
+    record("local_optimal", local_optimal_plan(context))
+    record("pbqp", PBQPSelector().select(context))
+    record("greedy_ignore_dt", greedy_ignore_dt_plan(context))
+
+    if include_frameworks:
+        record("caffe", caffe_like_plan(context))
+        if platform.vector_width >= 8:
+            record("mkldnn", mkldnn_like_plan(context))
+        else:
+            record("armcl", armcl_like_plan(context))
+
+    return result
+
+
+def format_speedup_table(results: List[WholeNetworkResult], title: str) -> str:
+    """Render a list of results as the text analogue of one of the figures."""
+    strategies = [
+        name
+        for name in FIGURE_STRATEGIES
+        if any(name in result.times_ms for result in results)
+    ]
+    header = f"{'network':<12}" + "".join(f"{name:>15}" for name in strategies)
+    lines = [title, header, "-" * len(header)]
+    for result in results:
+        row = f"{result.network:<12}"
+        for name in strategies:
+            if name in result.times_ms:
+                row += f"{result.speedup(name):>15.2f}"
+            else:
+                row += f"{'-':>15}"
+        lines.append(row)
+    lines.append("(speedup over single-threaded SUM2D baseline; higher is better)")
+    return "\n".join(lines)

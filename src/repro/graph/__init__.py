@@ -1,0 +1,51 @@
+"""DNN graph intermediate representation.
+
+A DNN is modelled, as in section 2 of the paper, as a directed acyclic graph
+of layers executed in topological order.  The IR deliberately captures only
+what the primitive-selection formulation consumes:
+
+* :class:`~repro.graph.scenario.ConvScenario` — the 6-tuple
+  ``{C, H, W, stride, K, M}`` describing a convolutional layer instance
+  (section 3), plus padding and groups needed to describe the public models;
+* the :class:`~repro.graph.layer.Layer` hierarchy — convolution layers carry a
+  scenario, every other layer type (pooling, activation, LRN, concat, fully
+  connected, ...) is a shape-transforming node that the selection pass treats
+  as a zero-cost wildcard (section 5.2);
+* :class:`~repro.graph.network.Network` — the DAG itself with shape inference,
+  validation and topological iteration.
+"""
+
+from repro.graph.scenario import ConvScenario
+from repro.graph.layer import (
+    Layer,
+    InputLayer,
+    ConvLayer,
+    PoolLayer,
+    PoolMode,
+    ReLULayer,
+    LRNLayer,
+    FullyConnectedLayer,
+    ConcatLayer,
+    DropoutLayer,
+    SoftmaxLayer,
+    FlattenLayer,
+)
+from repro.graph.network import Network, NetworkValidationError
+
+__all__ = [
+    "ConvScenario",
+    "Layer",
+    "InputLayer",
+    "ConvLayer",
+    "PoolLayer",
+    "PoolMode",
+    "ReLULayer",
+    "LRNLayer",
+    "FullyConnectedLayer",
+    "ConcatLayer",
+    "DropoutLayer",
+    "SoftmaxLayer",
+    "FlattenLayer",
+    "Network",
+    "NetworkValidationError",
+]

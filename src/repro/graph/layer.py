@@ -1,0 +1,280 @@
+"""Layer types of the DNN graph IR.
+
+Every layer is a node in the :class:`~repro.graph.network.Network` DAG.  The
+primitive-selection formulation only models convolution layers; all other
+layer types are represented as "dummy" nodes accepting any input and output
+layout with zero selection cost (paper section 5.2).  They still carry enough
+semantics for shape inference and for the functional runtime in
+:mod:`repro.runtime` to execute whole networks on real tensors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.graph.scenario import ConvScenario
+
+Shape = Tuple[int, int, int]
+
+
+class LayerKind(str, enum.Enum):
+    """Discriminator for layer types (used by the selector and the runtime)."""
+
+    INPUT = "input"
+    CONVOLUTION = "convolution"
+    POOLING = "pooling"
+    RELU = "relu"
+    LRN = "lrn"
+    FULLY_CONNECTED = "fully_connected"
+    CONCAT = "concat"
+    DROPOUT = "dropout"
+    SOFTMAX = "softmax"
+    FLATTEN = "flatten"
+
+
+@dataclass
+class Layer:
+    """Base class for all layers.
+
+    Attributes
+    ----------
+    name:
+        Unique name within the network (e.g. ``"conv2"``).
+    """
+
+    name: str
+
+    @property
+    def kind(self) -> LayerKind:
+        raise NotImplementedError
+
+    @property
+    def is_convolution(self) -> bool:
+        """Whether this layer is modelled by the PBQP formulation."""
+        return self.kind is LayerKind.CONVOLUTION
+
+    def arity(self) -> Tuple[int, int]:
+        """(min, max) number of inputs this layer accepts; max=-1 means unbounded."""
+        return (1, 1)
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        """Infer the logical (C, H, W) output shape from the input shapes."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+@dataclass
+class InputLayer(Layer):
+    """Network input; produces a tensor of fixed shape."""
+
+    shape: Shape = (3, 224, 224)
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.INPUT
+
+    def arity(self) -> Tuple[int, int]:
+        return (0, 0)
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if input_shapes:
+            raise ValueError(f"input layer {self.name!r} takes no inputs")
+        return self.shape
+
+
+@dataclass
+class ConvLayer(Layer):
+    """2D multichannel convolution layer.
+
+    The scenario parameters other than ``C``, ``H`` and ``W`` are stored on
+    the layer; the full :class:`ConvScenario` is derived once the input shape
+    is known (see :meth:`scenario`).
+    """
+
+    out_channels: int = 1
+    kernel: int = 3
+    stride: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.CONVOLUTION
+
+    def scenario(self, input_shape: Shape) -> ConvScenario:
+        """The convolutional scenario induced by an input of ``input_shape``."""
+        c, h, w = input_shape
+        return ConvScenario(
+            c=c,
+            h=h,
+            w=w,
+            stride=self.stride,
+            k=self.kernel,
+            m=self.out_channels,
+            padding=self.padding,
+            groups=self.groups,
+        )
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (input_shape,) = input_shapes
+        return self.scenario(input_shape).output_shape
+
+
+class PoolMode(str, enum.Enum):
+    MAX = "max"
+    AVERAGE = "average"
+
+
+@dataclass
+class PoolLayer(Layer):
+    """Spatial pooling layer (max or average)."""
+
+    kernel: int = 2
+    stride: int = 2
+    padding: int = 0
+    mode: PoolMode = PoolMode.MAX
+    #: Caffe-style ceil rounding of output dimensions (used by GoogLeNet/AlexNet).
+    ceil_mode: bool = True
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.POOLING
+
+    def _pooled(self, size: int) -> int:
+        padded = size + 2 * self.padding - self.kernel
+        if self.ceil_mode:
+            out = -(-padded // self.stride) + 1
+        else:
+            out = padded // self.stride + 1
+        # Caffe clips the last window so it starts inside the (padded) input.
+        if self.padding and (out - 1) * self.stride >= size + self.padding:
+            out -= 1
+        return max(out, 1)
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (input_shape,) = input_shapes
+        c, h, w = input_shape
+        return (c, self._pooled(h), self._pooled(w))
+
+
+@dataclass
+class ReLULayer(Layer):
+    """Rectified linear activation; shape preserving."""
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.RELU
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (input_shape,) = input_shapes
+        return input_shape
+
+
+@dataclass
+class LRNLayer(Layer):
+    """Local response normalization (AlexNet, GoogLeNet); shape preserving."""
+
+    local_size: int = 5
+    alpha: float = 1e-4
+    beta: float = 0.75
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.LRN
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (input_shape,) = input_shapes
+        return input_shape
+
+
+@dataclass
+class FullyConnectedLayer(Layer):
+    """Fully-connected (inner product) layer.
+
+    Output is modelled as a ``(features, 1, 1)`` tensor so the whole network
+    keeps a uniform 3D logical shape.
+    """
+
+    out_features: int = 1000
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.FULLY_CONNECTED
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (input_shape,) = input_shapes
+        return (self.out_features, 1, 1)
+
+    def macs(self, input_shape: Shape) -> int:
+        c, h, w = input_shape
+        return c * h * w * self.out_features
+
+
+@dataclass
+class ConcatLayer(Layer):
+    """Channel-wise concatenation (the join of GoogLeNet inception modules)."""
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.CONCAT
+
+    def arity(self) -> Tuple[int, int]:
+        return (1, -1)
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if not input_shapes:
+            raise ValueError(f"concat layer {self.name!r} needs at least one input")
+        heights = {s[1] for s in input_shapes}
+        widths = {s[2] for s in input_shapes}
+        if len(heights) != 1 or len(widths) != 1:
+            raise ValueError(
+                f"concat layer {self.name!r} inputs disagree on spatial shape: {input_shapes}"
+            )
+        channels = sum(s[0] for s in input_shapes)
+        return (channels, heights.pop(), widths.pop())
+
+
+@dataclass
+class DropoutLayer(Layer):
+    """Dropout; identity at inference time."""
+
+    ratio: float = 0.5
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.DROPOUT
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (input_shape,) = input_shapes
+        return input_shape
+
+
+@dataclass
+class SoftmaxLayer(Layer):
+    """Softmax over the channel dimension; shape preserving."""
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.SOFTMAX
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (input_shape,) = input_shapes
+        return input_shape
+
+
+@dataclass
+class FlattenLayer(Layer):
+    """Flatten a (C, H, W) tensor into (C*H*W, 1, 1) ahead of FC layers."""
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.FLATTEN
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (input_shape,) = input_shapes
+        c, h, w = input_shape
+        return (c * h * w, 1, 1)

@@ -1,0 +1,159 @@
+"""Convolutional scenarios.
+
+Section 3 of the paper models a convolutional layer instance formally as the
+6-tuple ``{C, H, W, delta, K, M}``: the number of input feature maps, the
+input height and width, the stride, the kernel radix and the number of output
+feature maps.  The formulation does not consider minibatching (the application
+context is latency sensitive; batch size 1).
+
+:class:`ConvScenario` is that tuple, extended with the two extra attributes
+needed to describe the public AlexNet/VGG/GoogLeNet models exactly —
+``padding`` and ``groups`` — which do not change the structure of the
+selection problem (they only scale the amount of work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ConvScenario:
+    """The parameters of one DNN convolution instance.
+
+    Attributes
+    ----------
+    c:
+        Number of input feature maps (channels).
+    h, w:
+        Height and width of each input feature map.
+    stride:
+        Convolution stride (``delta`` in the paper), applied in both spatial
+        dimensions.
+    k:
+        Kernel radix; kernels are ``k x k``.
+    m:
+        Number of output feature maps (number of multichannel filters).
+    padding:
+        Symmetric zero padding applied to both spatial dimensions.
+    groups:
+        Grouped convolution factor (AlexNet's conv2/4/5 use ``groups=2``).
+        ``c`` and ``m`` must both be divisible by ``groups``.
+    """
+
+    c: int
+    h: int
+    w: int
+    stride: int = 1
+    k: int = 3
+    m: int = 1
+    padding: int = 0
+    groups: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("c", "h", "w", "stride", "k", "m", "groups"):
+            value = getattr(self, field_name)
+            if value < 1:
+                raise ValueError(f"{field_name} must be >= 1, got {value}")
+        if self.padding < 0:
+            raise ValueError(f"padding must be >= 0, got {self.padding}")
+        if self.c % self.groups or self.m % self.groups:
+            raise ValueError(
+                f"c ({self.c}) and m ({self.m}) must be divisible by groups ({self.groups})"
+            )
+        if self.k > self.h + 2 * self.padding or self.k > self.w + 2 * self.padding:
+            raise ValueError(
+                "kernel does not fit in the padded input: "
+                f"k={self.k}, padded input {self.h + 2 * self.padding}x{self.w + 2 * self.padding}"
+            )
+
+    # -- derived geometry ----------------------------------------------------
+
+    @property
+    def out_h(self) -> int:
+        """Output feature-map height."""
+        return (self.h + 2 * self.padding - self.k) // self.stride + 1
+
+    @property
+    def out_w(self) -> int:
+        """Output feature-map width."""
+        return (self.w + 2 * self.padding - self.k) // self.stride + 1
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        """Logical input tensor shape ``(C, H, W)``."""
+        return (self.c, self.h, self.w)
+
+    @property
+    def output_shape(self) -> Tuple[int, int, int]:
+        """Logical output tensor shape ``(M, out_H, out_W)``."""
+        return (self.m, self.out_h, self.out_w)
+
+    @property
+    def kernel_shape(self) -> Tuple[int, int, int, int]:
+        """Kernel tensor shape ``(M, C/groups, K, K)``."""
+        return (self.m, self.c // self.groups, self.k, self.k)
+
+    @property
+    def is_strided(self) -> bool:
+        """Whether the convolution has stride greater than one."""
+        return self.stride > 1
+
+    @property
+    def is_pointwise(self) -> bool:
+        """Whether this is a 1x1 convolution."""
+        return self.k == 1
+
+    # -- work estimates -------------------------------------------------------
+
+    def macs(self) -> int:
+        """Multiply-accumulate count of the textbook direct convolution.
+
+        ``O(outH * outW * (C/groups) * K^2 * M)`` per the paper's complexity
+        statement (section 2.1), accounting for stride and grouping.
+        """
+        per_group_c = self.c // self.groups
+        return self.out_h * self.out_w * per_group_c * self.k * self.k * self.m
+
+    def flops(self) -> int:
+        """Floating point operations (2 per MAC)."""
+        return 2 * self.macs()
+
+    def input_elements(self) -> int:
+        return self.c * self.h * self.w
+
+    def output_elements(self) -> int:
+        return self.m * self.out_h * self.out_w
+
+    def kernel_elements(self) -> int:
+        return self.m * (self.c // self.groups) * self.k * self.k
+
+    # -- convenience ----------------------------------------------------------
+
+    def with_batch(self, batch: int) -> "ConvScenario":
+        """Future-work hook: fold a minibatch dimension into the width.
+
+        The paper notes minibatching can be encoded by one more integer
+        parameter; for cost purposes a batch of ``n`` identical scenarios has
+        ``n`` times the work, which we model by scaling the height.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        return replace(self, h=self.h * batch)
+
+    def describe(self) -> str:
+        """Human-readable one-line description used in reports and figures."""
+        parts = [
+            f"C={self.c}",
+            f"H={self.h}",
+            f"W={self.w}",
+            f"stride={self.stride}",
+            f"K={self.k}",
+            f"M={self.m}",
+        ]
+        if self.padding:
+            parts.append(f"pad={self.padding}")
+        if self.groups != 1:
+            parts.append(f"groups={self.groups}")
+        return " ".join(parts)

@@ -1,0 +1,67 @@
+"""Data layouts, layout tensors, layout transformations and the DT graph.
+
+The paper (section 3.1) models data layouts of 3D feature-map tensors
+(logical dimensions ``C`` x ``H`` x ``W``) and a *data-layout transformation
+graph* (DT graph) whose nodes are layouts and whose edges are the direct
+conversion routines shipped with the primitive library.  Because the set of
+direct routines is deliberately incomplete, converting between two layouts
+may require a chain of transformations; the cost of the cheapest chain is the
+all-pairs shortest path over the DT graph.
+
+Public API
+----------
+``Layout``
+    Description of a tensor layout (a permutation of C, H, W optionally with
+    channel blocking for vectorized kernels).
+``LayoutTensor``
+    A numpy array together with the layout it is stored in, convertible
+    to/from the canonical CHW representation.
+``LayoutTransform``
+    A direct conversion routine between two layouts.
+``DTGraph``
+    The data-layout transformation graph, with transitive closure and
+    all-pairs shortest path queries.
+``STANDARD_LAYOUTS`` / ``default_transform_library``
+    The layouts and direct transforms used throughout the reproduction.
+"""
+
+from repro.layouts.layout import (
+    Layout,
+    CHW,
+    HWC,
+    HCW,
+    WHC,
+    CHW4c,
+    CHW8c,
+    HWC4c,
+    HWC8c,
+    STANDARD_LAYOUTS,
+    get_layout,
+)
+from repro.layouts.tensor import LayoutTensor
+from repro.layouts.transforms import (
+    LayoutTransform,
+    TransformChain,
+    default_transform_library,
+)
+from repro.layouts.dt_graph import DTGraph, DTPath
+
+__all__ = [
+    "Layout",
+    "CHW",
+    "HWC",
+    "HCW",
+    "WHC",
+    "CHW4c",
+    "CHW8c",
+    "HWC4c",
+    "HWC8c",
+    "STANDARD_LAYOUTS",
+    "get_layout",
+    "LayoutTensor",
+    "LayoutTransform",
+    "TransformChain",
+    "default_transform_library",
+    "DTGraph",
+    "DTPath",
+]

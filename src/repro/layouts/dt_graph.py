@@ -1,0 +1,223 @@
+"""The data-layout transformation (DT) graph.
+
+Section 3.1 of the paper: treat each supported data layout as a node and each
+*direct* layout-conversion routine as a directed edge.  A conversion between
+two layouts is possible iff there is a directed path between the corresponding
+nodes; the cheapest conversion is the shortest path, where edge weights are
+the (size-dependent) execution costs of the direct routines.  The paper
+computes the all-pairs shortest paths ahead of time; pairs with no path get
+infinite cost.
+
+:class:`DTGraph` implements exactly this: reachability via transitive closure
+and all-pairs shortest paths (Floyd–Warshall with path reconstruction) for a
+given tensor shape and per-transform cost function.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.layouts.layout import Layout
+from repro.layouts.transforms import LayoutTransform, TransformChain
+
+#: A cost function mapping a direct transform and tensor shape to a scalar cost.
+TransformCostFn = Callable[[LayoutTransform, Tuple[int, int, int]], float]
+
+
+def element_traffic_cost(
+    transform: LayoutTransform, shape: Tuple[int, int, int]
+) -> float:
+    """Default cost function: the element traffic of the direct transform."""
+    return transform.element_traffic(*shape)
+
+
+@dataclass(frozen=True)
+class DTPath:
+    """The cheapest conversion between two layouts for a given tensor shape.
+
+    ``cost`` is ``math.inf`` and ``chain`` is ``None`` when the target layout
+    is unreachable from the source layout.
+    """
+
+    source: Layout
+    target: Layout
+    cost: float
+    chain: Optional[TransformChain]
+
+    @property
+    def reachable(self) -> bool:
+        return math.isfinite(self.cost)
+
+    @property
+    def hops(self) -> int:
+        return 0 if self.chain is None else len(self.chain)
+
+
+class DTGraph:
+    """Data-layout transformation graph over a set of layouts.
+
+    Parameters
+    ----------
+    layouts:
+        The layout nodes.  Layouts referenced by transforms but not listed
+        here are added automatically.
+    transforms:
+        The direct conversion routines (directed edges).
+    """
+
+    def __init__(
+        self, layouts: Iterable[Layout], transforms: Iterable[LayoutTransform]
+    ) -> None:
+        self._layouts: Dict[str, Layout] = {}
+        for layout in layouts:
+            self._layouts[layout.name] = layout
+        self._transforms: List[LayoutTransform] = list(transforms)
+        for transform in self._transforms:
+            self._layouts.setdefault(transform.source.name, transform.source)
+            self._layouts.setdefault(transform.target.name, transform.target)
+        self._edges: Dict[Tuple[str, str], LayoutTransform] = {}
+        for transform in self._transforms:
+            key = (transform.source.name, transform.target.name)
+            if key in self._edges:
+                raise ValueError(f"duplicate direct transform for {key}")
+            self._edges[key] = transform
+
+    # -- basic structure -----------------------------------------------------
+
+    @property
+    def layouts(self) -> List[Layout]:
+        """The layout nodes of the graph."""
+        return list(self._layouts.values())
+
+    @property
+    def layout_names(self) -> List[str]:
+        return list(self._layouts.keys())
+
+    @property
+    def transforms(self) -> List[LayoutTransform]:
+        """The direct transform edges of the graph."""
+        return list(self._transforms)
+
+    def direct_transform(self, source: Layout, target: Layout) -> Optional[LayoutTransform]:
+        """The direct routine from ``source`` to ``target``, if one exists."""
+        return self._edges.get((source.name, target.name))
+
+    def successors(self, layout: Layout) -> List[Layout]:
+        """Layouts directly reachable from ``layout`` by one transform."""
+        return [
+            self._layouts[dst]
+            for (src, dst) in self._edges
+            if src == layout.name
+        ]
+
+    # -- reachability --------------------------------------------------------
+
+    def transitive_closure(self) -> Set[Tuple[str, str]]:
+        """All ordered pairs ``(a, b)`` such that layout ``b`` is reachable from ``a``.
+
+        Every layout is trivially reachable from itself.
+        """
+        names = self.layout_names
+        reach: Set[Tuple[str, str]] = {(n, n) for n in names}
+        reach.update(self._edges.keys())
+        changed = True
+        while changed:
+            changed = False
+            for a in names:
+                for b in names:
+                    if (a, b) in reach:
+                        continue
+                    if any((a, mid) in reach and (mid, b) in reach for mid in names):
+                        reach.add((a, b))
+                        changed = True
+        return reach
+
+    def is_reachable(self, source: Layout, target: Layout) -> bool:
+        """Whether ``target`` can be reached from ``source`` by some chain."""
+        return (source.name, target.name) in self.transitive_closure()
+
+    # -- all-pairs shortest paths ---------------------------------------------
+
+    def all_pairs_shortest_paths(
+        self,
+        shape: Tuple[int, int, int],
+        cost_fn: TransformCostFn = element_traffic_cost,
+    ) -> Dict[Tuple[str, str], DTPath]:
+        """Cheapest conversion chains between every ordered pair of layouts.
+
+        Uses Floyd–Warshall over the direct-transform edge costs evaluated on
+        the given tensor ``shape``.  The result maps ``(source name, target
+        name)`` to a :class:`DTPath`; unreachable pairs get infinite cost.
+        """
+        names = self.layout_names
+        index = {name: i for i, name in enumerate(names)}
+        n = len(names)
+        dist = [[math.inf] * n for _ in range(n)]
+        nxt: List[List[Optional[int]]] = [[None] * n for _ in range(n)]
+        for i in range(n):
+            dist[i][i] = 0.0
+            nxt[i][i] = i
+        for (src, dst), transform in self._edges.items():
+            i, j = index[src], index[dst]
+            cost = float(cost_fn(transform, shape))
+            if cost < 0:
+                raise ValueError(f"negative transform cost for {transform.name}")
+            if cost < dist[i][j]:
+                dist[i][j] = cost
+                nxt[i][j] = j
+        for k in range(n):
+            for i in range(n):
+                if not math.isfinite(dist[i][k]):
+                    continue
+                for j in range(n):
+                    through = dist[i][k] + dist[k][j]
+                    if through < dist[i][j]:
+                        dist[i][j] = through
+                        nxt[i][j] = nxt[i][k]
+
+        paths: Dict[Tuple[str, str], DTPath] = {}
+        for a in names:
+            for b in names:
+                i, j = index[a], index[b]
+                source = self._layouts[a]
+                target = self._layouts[b]
+                if not math.isfinite(dist[i][j]):
+                    paths[(a, b)] = DTPath(source, target, math.inf, None)
+                    continue
+                chain = self._reconstruct_chain(names, index, nxt, a, b)
+                paths[(a, b)] = DTPath(source, target, dist[i][j], chain)
+        return paths
+
+    def shortest_path(
+        self,
+        source: Layout,
+        target: Layout,
+        shape: Tuple[int, int, int],
+        cost_fn: TransformCostFn = element_traffic_cost,
+    ) -> DTPath:
+        """Cheapest conversion from ``source`` to ``target`` for ``shape``."""
+        return self.all_pairs_shortest_paths(shape, cost_fn)[(source.name, target.name)]
+
+    def _reconstruct_chain(
+        self,
+        names: Sequence[str],
+        index: Dict[str, int],
+        nxt: List[List[Optional[int]]],
+        source: str,
+        target: str,
+    ) -> TransformChain:
+        if source == target:
+            return TransformChain(transforms=())
+        hops: List[LayoutTransform] = []
+        current = index[source]
+        goal = index[target]
+        while current != goal:
+            following = nxt[current][goal]
+            if following is None:
+                raise RuntimeError("path reconstruction failed on a reachable pair")
+            edge = self._edges[(names[current], names[following])]
+            hops.append(edge)
+            current = following
+        return TransformChain(transforms=tuple(hops))

@@ -1,0 +1,152 @@
+"""Layout-aware tensor wrapper.
+
+``LayoutTensor`` couples a numpy array with the :class:`~repro.layouts.layout.Layout`
+it is stored in, plus the logical ``(C, H, W)`` shape (needed because blocked
+layouts pad the channel dimension).  All primitives in
+:mod:`repro.primitives` consume and produce ``LayoutTensor`` values; the
+canonical interchange format is the ``CHW`` logical view obtained with
+:meth:`LayoutTensor.to_chw`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.layouts.layout import CHW, Layout
+
+
+@dataclass
+class LayoutTensor:
+    """A feature-map tensor stored in a particular data layout.
+
+    Attributes
+    ----------
+    data:
+        The physical numpy array, whose shape equals
+        ``layout.physical_shape(*logical_shape)``.
+    layout:
+        The layout the data is stored in.
+    logical_shape:
+        The logical ``(C, H, W)`` dimensions (excluding any block padding).
+    """
+
+    data: np.ndarray
+    layout: Layout
+    logical_shape: Tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        expected = self.layout.physical_shape(*self.logical_shape)
+        if tuple(self.data.shape) != expected:
+            raise ValueError(
+                f"array shape {tuple(self.data.shape)} does not match physical "
+                f"shape {expected} for layout {self.layout.name} and logical "
+                f"shape {self.logical_shape}"
+            )
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_chw(cls, array: np.ndarray, layout: Layout = CHW) -> "LayoutTensor":
+        """Build a tensor in ``layout`` from a canonical ``(C, H, W)`` array."""
+        array = np.asarray(array)
+        if array.ndim != 3:
+            raise ValueError(f"expected a 3D (C, H, W) array, got ndim={array.ndim}")
+        c, h, w = array.shape
+        physical = _chw_to_physical(array, layout)
+        return cls(data=physical, layout=layout, logical_shape=(c, h, w))
+
+    @classmethod
+    def zeros(
+        cls, logical_shape: Tuple[int, int, int], layout: Layout = CHW, dtype=np.float32
+    ) -> "LayoutTensor":
+        """A zero tensor of the given logical shape in the given layout."""
+        physical = np.zeros(layout.physical_shape(*logical_shape), dtype=dtype)
+        return cls(data=physical, layout=layout, logical_shape=logical_shape)
+
+    # -- conversions --------------------------------------------------------
+
+    def to_chw(self) -> np.ndarray:
+        """Return the canonical ``(C, H, W)`` view of the logical tensor."""
+        return _physical_to_chw(self.data, self.layout, self.logical_shape)
+
+    def convert(self, layout: Layout) -> "LayoutTensor":
+        """Return a copy of this tensor stored in another layout."""
+        if layout == self.layout:
+            return LayoutTensor(
+                data=self.data.copy(), layout=self.layout, logical_shape=self.logical_shape
+            )
+        return LayoutTensor.from_chw(self.to_chw(), layout)
+
+    # -- niceties ------------------------------------------------------------
+
+    @property
+    def channels(self) -> int:
+        return self.logical_shape[0]
+
+    @property
+    def height(self) -> int:
+        return self.logical_shape[1]
+
+    @property
+    def width(self) -> int:
+        return self.logical_shape[2]
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def allclose(self, other: "LayoutTensor", rtol: float = 1e-5, atol: float = 1e-6) -> bool:
+        """Compare two layout tensors by their logical contents."""
+        if self.logical_shape != other.logical_shape:
+            return False
+        return np.allclose(self.to_chw(), other.to_chw(), rtol=rtol, atol=atol)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LayoutTensor(layout={self.layout.name}, logical_shape={self.logical_shape}, "
+            f"dtype={self.data.dtype})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Physical <-> logical conversion helpers.
+# ---------------------------------------------------------------------------
+
+
+def _chw_to_physical(array: np.ndarray, layout: Layout) -> np.ndarray:
+    """Convert a canonical (C, H, W) array into the physical array of a layout."""
+    c, h, w = array.shape
+    if layout.channel_block is None:
+        perm = tuple("CHW".index(a) for a in layout.order)
+        return np.ascontiguousarray(np.transpose(array, perm))
+    block = layout.channel_block
+    blocks = -(-c // block)
+    padded = np.zeros((blocks * block, h, w), dtype=array.dtype)
+    padded[:c] = array
+    # Shape (blocks, block, H, W) then move the block to the innermost axis and
+    # reorder the outer axes according to the layout permutation of (Cb, H, W).
+    grouped = padded.reshape(blocks, block, h, w)
+    sizes = {"C": 0, "H": 2, "W": 3}
+    outer_axes = tuple(sizes[a] for a in layout.order)
+    return np.ascontiguousarray(np.transpose(grouped, outer_axes + (1,)))
+
+
+def _physical_to_chw(
+    physical: np.ndarray, layout: Layout, logical_shape: Tuple[int, int, int]
+) -> np.ndarray:
+    """Convert a physical array back into the canonical (C, H, W) view."""
+    c, h, w = logical_shape
+    if layout.channel_block is None:
+        inverse = tuple(layout.order.index(a) for a in "CHW")
+        return np.ascontiguousarray(np.transpose(physical, inverse))
+    block = layout.channel_block
+    # Physical shape is outer-permutation of (Cb, H, W) plus trailing block.
+    positions = {axis: i for i, axis in enumerate(layout.order)}
+    restore = (positions["C"], len(layout.order), positions["H"], positions["W"])
+    grouped = np.transpose(physical, restore)  # (Cb, block, H, W)
+    blocks = grouped.shape[0]
+    flat = grouped.reshape(blocks * block, h, w)
+    return np.ascontiguousarray(flat[:c])

@@ -1,0 +1,181 @@
+"""Direct data-layout transformation routines.
+
+Section 3.1 of the paper observes that a primitive library ships a *limited*
+set of direct layout-conversion routines — there is usually not a routine for
+every ordered pair of layouts, so converting between two layouts may require a
+chain of direct transforms.  This module provides:
+
+* :class:`LayoutTransform` — one direct conversion routine, executable on a
+  :class:`~repro.layouts.tensor.LayoutTensor` and annotated with an element
+  traffic estimate used by the analytical cost model;
+* :class:`TransformChain` — a sequence of direct transforms applied in order;
+* :func:`default_transform_library` — the deliberately incomplete set of
+  direct transforms used throughout the reproduction (so that chains, and the
+  all-pairs shortest path machinery of the DT graph, are actually exercised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.layouts.layout import (
+    CHW,
+    CHW4c,
+    CHW8c,
+    HCW,
+    HWC,
+    HWC4c,
+    HWC8c,
+    WHC,
+    Layout,
+)
+from repro.layouts.tensor import LayoutTensor
+
+
+@dataclass(frozen=True)
+class LayoutTransform:
+    """A direct conversion routine from one layout to another.
+
+    The routine itself is implemented generically (via the canonical CHW view)
+    because the reproduction's primitives are numpy-backed; what matters for
+    the selection problem is the *cost* of the conversion, captured by
+    :meth:`element_traffic` and ultimately priced by the platform cost model.
+
+    Attributes
+    ----------
+    source, target:
+        The layouts converted between.
+    efficiency:
+        Relative efficiency of this routine compared to a plain gather/scatter
+        copy.  Values above 1.0 model hand-optimized transforms (e.g. blocked
+        interleave done with vector shuffles); values below 1.0 model awkward
+        strided copies (e.g. transposes with poor locality).
+    """
+
+    source: Layout
+    target: Layout
+    efficiency: float = 1.0
+
+    @property
+    def name(self) -> str:
+        return f"{self.source.name}->{self.target.name}"
+
+    def apply(self, tensor: LayoutTensor) -> LayoutTensor:
+        """Convert ``tensor`` (which must be in ``source``) into ``target``."""
+        if tensor.layout != self.source:
+            raise ValueError(
+                f"transform {self.name} applied to tensor in layout {tensor.layout.name}"
+            )
+        return tensor.convert(self.target)
+
+    def element_traffic(self, c: int, h: int, w: int) -> float:
+        """Number of element reads+writes performed by this conversion.
+
+        A layout conversion reads every source element and writes every target
+        element (including any block padding), scaled by the routine's
+        efficiency factor.
+        """
+        reads = self.source.element_count(c, h, w)
+        writes = self.target.element_count(c, h, w)
+        return (reads + writes) / self.efficiency
+
+    def __repr__(self) -> str:
+        return f"LayoutTransform({self.name})"
+
+
+@dataclass(frozen=True)
+class TransformChain:
+    """A chain of direct layout transforms applied left to right."""
+
+    transforms: Tuple[LayoutTransform, ...]
+
+    def __post_init__(self) -> None:
+        for first, second in zip(self.transforms, self.transforms[1:]):
+            if first.target != second.source:
+                raise ValueError(
+                    f"transform chain is not connected: {first.name} then {second.name}"
+                )
+
+    @property
+    def source(self) -> Layout:
+        return self.transforms[0].source
+
+    @property
+    def target(self) -> Layout:
+        return self.transforms[-1].target
+
+    @property
+    def name(self) -> str:
+        hops = [self.transforms[0].source.name] + [t.target.name for t in self.transforms]
+        return "->".join(hops)
+
+    def __len__(self) -> int:
+        return len(self.transforms)
+
+    def apply(self, tensor: LayoutTensor) -> LayoutTensor:
+        result = tensor
+        for transform in self.transforms:
+            result = transform.apply(result)
+        return result
+
+    def element_traffic(self, c: int, h: int, w: int) -> float:
+        return sum(t.element_traffic(c, h, w) for t in self.transforms)
+
+
+def identity_chain() -> TransformChain:
+    """An empty chain used when source and target layouts already agree."""
+    return TransformChain(transforms=())
+
+
+def default_transform_library() -> List[LayoutTransform]:
+    """The direct layout-conversion routines shipped with the reproduction.
+
+    The set is intentionally incomplete, mirroring the paper's observation
+    that real libraries only provide selected direct routines:
+
+    * the three permutation layouts ``CHW``, ``HWC``, ``HCW`` are mutually
+      convertible by direct routines;
+    * ``WHC`` is only reachable from/to ``HWC`` — reaching it from ``CHW``
+      requires a two-hop chain;
+    * blocked layouts are only reachable from their base permutation
+      (``CHWc8`` from ``CHW``, ``HWCc4`` from ``HWC``, ...), so converting
+      e.g. ``CHWc8`` to ``HWCc8`` takes a three-hop chain.
+    """
+    pairs: Sequence[Tuple[Layout, Layout, float]] = [
+        # Permutation transposes: moderately expensive strided copies.
+        (CHW, HWC, 0.8),
+        (HWC, CHW, 0.8),
+        (CHW, HCW, 0.9),
+        (HCW, CHW, 0.9),
+        (HWC, HCW, 0.85),
+        (HCW, HWC, 0.85),
+        # WHC only connects to HWC.
+        (HWC, WHC, 0.7),
+        (WHC, HWC, 0.7),
+        # Blocking / unblocking: optimized interleave routines.
+        (CHW, CHW4c, 1.25),
+        (CHW4c, CHW, 1.25),
+        (CHW, CHW8c, 1.25),
+        (CHW8c, CHW, 1.25),
+        (HWC, HWC4c, 1.25),
+        (HWC4c, HWC, 1.25),
+        (HWC, HWC8c, 1.25),
+        (HWC8c, HWC, 1.25),
+    ]
+    return [
+        LayoutTransform(source=src, target=dst, efficiency=eff) for src, dst, eff in pairs
+    ]
+
+
+def transforms_by_pair(
+    transforms: Iterable[LayoutTransform],
+) -> dict[Tuple[str, str], LayoutTransform]:
+    """Index a collection of transforms by (source name, target name)."""
+    index: dict[Tuple[str, str], LayoutTransform] = {}
+    for transform in transforms:
+        key = (transform.source.name, transform.target.name)
+        if key in index:
+            raise ValueError(f"duplicate direct transform for pair {key}")
+        index[key] = transform
+    return index

@@ -1,0 +1,45 @@
+"""Model zoo: the networks used in the paper's evaluation.
+
+The paper evaluates AlexNet, the VGG family and GoogLeNet using the public
+model definitions (BVLC Caffe Model Zoo / the original publications).  The
+builders here reconstruct those graphs layer-by-layer from the publications,
+which is sufficient for the reproduction because the selection formulation
+consumes only layer shapes and connectivity.
+"""
+
+from repro.models.alexnet import build_alexnet
+from repro.models.vgg import build_vgg, VGG_CONFIGS
+from repro.models.googlenet import build_googlenet
+
+#: Builders for every model used in the evaluation, keyed by the names the
+#: paper's figures use.
+MODEL_BUILDERS = {
+    "alexnet": build_alexnet,
+    "vgg-a": lambda: build_vgg("A"),
+    "vgg-b": lambda: build_vgg("B"),
+    "vgg-c": lambda: build_vgg("C"),
+    "vgg-d": lambda: build_vgg("D"),
+    "vgg-e": lambda: build_vgg("E"),
+    "googlenet": build_googlenet,
+}
+
+
+def build_model(name: str):
+    """Build a network from the zoo by its canonical lowercase name."""
+    try:
+        builder = MODEL_BUILDERS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available models: {sorted(MODEL_BUILDERS)}"
+        ) from None
+    return builder()
+
+
+__all__ = [
+    "build_alexnet",
+    "build_vgg",
+    "build_googlenet",
+    "build_model",
+    "MODEL_BUILDERS",
+    "VGG_CONFIGS",
+]

@@ -1,0 +1,87 @@
+"""AlexNet (Krizhevsky et al., 2012) as published in the BVLC Caffe model zoo.
+
+Five convolution layers — conv1 is the K=11, stride-4 layer the paper calls
+out in Figure 4; conv2/conv4/conv5 are grouped convolutions (groups=2) exactly
+as in the public ``bvlc_alexnet`` deploy prototxt (input 3 x 227 x 227).
+"""
+
+from __future__ import annotations
+
+from repro.graph.layer import (
+    ConvLayer,
+    DropoutLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    LRNLayer,
+    PoolLayer,
+    PoolMode,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.graph.network import Network
+
+
+def build_alexnet(input_size: int = 227) -> Network:
+    """Build the AlexNet inference graph.
+
+    Parameters
+    ----------
+    input_size:
+        Spatial size of the (square) RGB input image.  The public Caffe model
+        uses 227; 224 is also seen in the literature and is accepted here.
+    """
+    net = Network("alexnet")
+    net.add_layer(InputLayer("data", shape=(3, input_size, input_size)))
+
+    net.add_layer(
+        ConvLayer("conv1", out_channels=96, kernel=11, stride=4, padding=0), ["data"]
+    )
+    net.add_layer(ReLULayer("relu1"), ["conv1"])
+    net.add_layer(LRNLayer("norm1", local_size=5), ["relu1"])
+    net.add_layer(
+        PoolLayer("pool1", kernel=3, stride=2, mode=PoolMode.MAX), ["norm1"]
+    )
+
+    net.add_layer(
+        ConvLayer("conv2", out_channels=256, kernel=5, stride=1, padding=2, groups=2),
+        ["pool1"],
+    )
+    net.add_layer(ReLULayer("relu2"), ["conv2"])
+    net.add_layer(LRNLayer("norm2", local_size=5), ["relu2"])
+    net.add_layer(
+        PoolLayer("pool2", kernel=3, stride=2, mode=PoolMode.MAX), ["norm2"]
+    )
+
+    net.add_layer(
+        ConvLayer("conv3", out_channels=384, kernel=3, stride=1, padding=1), ["pool2"]
+    )
+    net.add_layer(ReLULayer("relu3"), ["conv3"])
+
+    net.add_layer(
+        ConvLayer("conv4", out_channels=384, kernel=3, stride=1, padding=1, groups=2),
+        ["relu3"],
+    )
+    net.add_layer(ReLULayer("relu4"), ["conv4"])
+
+    net.add_layer(
+        ConvLayer("conv5", out_channels=256, kernel=3, stride=1, padding=1, groups=2),
+        ["relu4"],
+    )
+    net.add_layer(ReLULayer("relu5"), ["conv5"])
+    net.add_layer(
+        PoolLayer("pool5", kernel=3, stride=2, mode=PoolMode.MAX), ["relu5"]
+    )
+
+    net.add_layer(FlattenLayer("flatten"), ["pool5"])
+    net.add_layer(FullyConnectedLayer("fc6", out_features=4096), ["flatten"])
+    net.add_layer(ReLULayer("relu6"), ["fc6"])
+    net.add_layer(DropoutLayer("drop6"), ["relu6"])
+    net.add_layer(FullyConnectedLayer("fc7", out_features=4096), ["drop6"])
+    net.add_layer(ReLULayer("relu7"), ["fc7"])
+    net.add_layer(DropoutLayer("drop7"), ["relu7"])
+    net.add_layer(FullyConnectedLayer("fc8", out_features=1000), ["drop7"])
+    net.add_layer(SoftmaxLayer("prob"), ["fc8"])
+
+    net.validate()
+    return net

@@ -1,0 +1,156 @@
+"""GoogLeNet (Szegedy et al., 2015) with its nine inception modules.
+
+Figure 3 of the primitive-selection paper shows the inception module as the
+motivating example of a DAG-shaped subgraph where per-edge layout decisions
+interact: the module has four parallel branches whose outputs are channel-
+concatenated.  This builder reconstructs the full 22-layer GoogLeNet
+inference graph (auxiliary classifiers omitted, as they are not executed at
+inference time) from Table 1 of the GoogLeNet paper, input 3 x 224 x 224.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.graph.layer import (
+    ConcatLayer,
+    ConvLayer,
+    DropoutLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    LRNLayer,
+    PoolLayer,
+    PoolMode,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.graph.network import Network
+
+
+@dataclass(frozen=True)
+class InceptionSpec:
+    """Channel counts of one inception module (Table 1 of the GoogLeNet paper)."""
+
+    name: str
+    one: int          # 1x1 branch
+    three_reduce: int  # 1x1 reduction ahead of the 3x3 branch
+    three: int         # 3x3 branch
+    five_reduce: int   # 1x1 reduction ahead of the 5x5 branch
+    five: int          # 5x5 branch
+    pool_proj: int     # 1x1 projection after the 3x3 max-pool branch
+
+
+#: The nine inception modules of GoogLeNet in execution order.
+INCEPTION_SPECS: List[InceptionSpec] = [
+    InceptionSpec("inception_3a", 64, 96, 128, 16, 32, 32),
+    InceptionSpec("inception_3b", 128, 128, 192, 32, 96, 64),
+    InceptionSpec("inception_4a", 192, 96, 208, 16, 48, 64),
+    InceptionSpec("inception_4b", 160, 112, 224, 24, 64, 64),
+    InceptionSpec("inception_4c", 128, 128, 256, 24, 64, 64),
+    InceptionSpec("inception_4d", 112, 144, 288, 32, 64, 64),
+    InceptionSpec("inception_4e", 256, 160, 320, 32, 128, 128),
+    InceptionSpec("inception_5a", 256, 160, 320, 32, 128, 128),
+    InceptionSpec("inception_5b", 384, 192, 384, 48, 128, 128),
+]
+
+
+def _add_conv_relu(
+    net: Network, name: str, source: str, out_channels: int, kernel: int, padding: int
+) -> str:
+    """Add a convolution + ReLU pair and return the name of the ReLU output."""
+    net.add_layer(
+        ConvLayer(name, out_channels=out_channels, kernel=kernel, stride=1, padding=padding),
+        [source],
+    )
+    relu_name = f"{name}_relu"
+    net.add_layer(ReLULayer(relu_name), [name])
+    return relu_name
+
+
+def _add_inception(net: Network, spec: InceptionSpec, source: str) -> str:
+    """Add one inception module fed by ``source``; return the concat output name."""
+    prefix = spec.name
+
+    branch1 = _add_conv_relu(net, f"{prefix}/1x1", source, spec.one, kernel=1, padding=0)
+
+    reduce3 = _add_conv_relu(
+        net, f"{prefix}/3x3_reduce", source, spec.three_reduce, kernel=1, padding=0
+    )
+    branch3 = _add_conv_relu(net, f"{prefix}/3x3", reduce3, spec.three, kernel=3, padding=1)
+
+    reduce5 = _add_conv_relu(
+        net, f"{prefix}/5x5_reduce", source, spec.five_reduce, kernel=1, padding=0
+    )
+    branch5 = _add_conv_relu(net, f"{prefix}/5x5", reduce5, spec.five, kernel=5, padding=2)
+
+    pool_name = f"{prefix}/pool"
+    net.add_layer(
+        PoolLayer(pool_name, kernel=3, stride=1, padding=1, mode=PoolMode.MAX), [source]
+    )
+    branch_pool = _add_conv_relu(
+        net, f"{prefix}/pool_proj", pool_name, spec.pool_proj, kernel=1, padding=0
+    )
+
+    concat_name = f"{prefix}/output"
+    net.add_layer(ConcatLayer(concat_name), [branch1, branch3, branch5, branch_pool])
+    return concat_name
+
+
+def build_googlenet(input_size: int = 224) -> Network:
+    """Build the GoogLeNet inference graph (no auxiliary classifiers)."""
+    net = Network("googlenet")
+    net.add_layer(InputLayer("data", shape=(3, input_size, input_size)))
+
+    net.add_layer(
+        ConvLayer("conv1/7x7_s2", out_channels=64, kernel=7, stride=2, padding=3), ["data"]
+    )
+    net.add_layer(ReLULayer("conv1/relu"), ["conv1/7x7_s2"])
+    net.add_layer(
+        PoolLayer("pool1/3x3_s2", kernel=3, stride=2, mode=PoolMode.MAX), ["conv1/relu"]
+    )
+    net.add_layer(LRNLayer("pool1/norm1", local_size=5), ["pool1/3x3_s2"])
+
+    net.add_layer(
+        ConvLayer("conv2/3x3_reduce", out_channels=64, kernel=1, stride=1, padding=0),
+        ["pool1/norm1"],
+    )
+    net.add_layer(ReLULayer("conv2/relu_reduce"), ["conv2/3x3_reduce"])
+    net.add_layer(
+        ConvLayer("conv2/3x3", out_channels=192, kernel=3, stride=1, padding=1),
+        ["conv2/relu_reduce"],
+    )
+    net.add_layer(ReLULayer("conv2/relu"), ["conv2/3x3"])
+    net.add_layer(LRNLayer("conv2/norm2", local_size=5), ["conv2/relu"])
+    net.add_layer(
+        PoolLayer("pool2/3x3_s2", kernel=3, stride=2, mode=PoolMode.MAX), ["conv2/norm2"]
+    )
+
+    previous = "pool2/3x3_s2"
+    for spec in INCEPTION_SPECS:
+        previous = _add_inception(net, spec, previous)
+        if spec.name == "inception_3b":
+            net.add_layer(
+                PoolLayer("pool3/3x3_s2", kernel=3, stride=2, mode=PoolMode.MAX), [previous]
+            )
+            previous = "pool3/3x3_s2"
+        elif spec.name == "inception_4e":
+            net.add_layer(
+                PoolLayer("pool4/3x3_s2", kernel=3, stride=2, mode=PoolMode.MAX), [previous]
+            )
+            previous = "pool4/3x3_s2"
+
+    net.add_layer(
+        PoolLayer(
+            "pool5/7x7_s1", kernel=7, stride=1, padding=0, mode=PoolMode.AVERAGE, ceil_mode=False
+        ),
+        [previous],
+    )
+    net.add_layer(DropoutLayer("pool5/drop", ratio=0.4), ["pool5/7x7_s1"])
+    net.add_layer(FlattenLayer("flatten"), ["pool5/drop"])
+    net.add_layer(FullyConnectedLayer("loss3/classifier", out_features=1000), ["flatten"])
+    net.add_layer(SoftmaxLayer("prob"), ["loss3/classifier"])
+
+    net.validate()
+    return net

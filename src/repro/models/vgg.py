@@ -1,0 +1,121 @@
+"""The VGG network family (Simonyan & Zisserman, 2014).
+
+The paper benchmarks VGG-B, VGG-C and VGG-E on the Intel platform (they are
+too large for the embedded ARM board).  Because only configurations D and E
+have published Caffe models, the paper reconstructs the others by hand
+"exactly following" the publication; we do the same here for all five
+configurations A-E (Table 1 of the VGG paper), input 3 x 224 x 224.
+
+Configuration C replaces the third convolution of the last three blocks with
+a 1x1 convolution; all other convolutions are 3x3 with padding 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.graph.layer import (
+    ConvLayer,
+    DropoutLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    PoolLayer,
+    PoolMode,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.graph.network import Network
+
+#: A block entry is either the string "M" (2x2 stride-2 max pooling) or a
+#: (out_channels, kernel) pair describing one convolution + ReLU.
+BlockEntry = Union[str, Tuple[int, int]]
+
+#: VGG configurations from Table 1 of Simonyan & Zisserman.  Kernel size is
+#: 3 for all layers except the 1x1 convolutions distinguishing configuration C.
+VGG_CONFIGS: Dict[str, List[BlockEntry]] = {
+    "A": [
+        (64, 3), "M",
+        (128, 3), "M",
+        (256, 3), (256, 3), "M",
+        (512, 3), (512, 3), "M",
+        (512, 3), (512, 3), "M",
+    ],
+    "B": [
+        (64, 3), (64, 3), "M",
+        (128, 3), (128, 3), "M",
+        (256, 3), (256, 3), "M",
+        (512, 3), (512, 3), "M",
+        (512, 3), (512, 3), "M",
+    ],
+    "C": [
+        (64, 3), (64, 3), "M",
+        (128, 3), (128, 3), "M",
+        (256, 3), (256, 3), (256, 1), "M",
+        (512, 3), (512, 3), (512, 1), "M",
+        (512, 3), (512, 3), (512, 1), "M",
+    ],
+    "D": [
+        (64, 3), (64, 3), "M",
+        (128, 3), (128, 3), "M",
+        (256, 3), (256, 3), (256, 3), "M",
+        (512, 3), (512, 3), (512, 3), "M",
+        (512, 3), (512, 3), (512, 3), "M",
+    ],
+    "E": [
+        (64, 3), (64, 3), "M",
+        (128, 3), (128, 3), "M",
+        (256, 3), (256, 3), (256, 3), (256, 3), "M",
+        (512, 3), (512, 3), (512, 3), (512, 3), "M",
+        (512, 3), (512, 3), (512, 3), (512, 3), "M",
+    ],
+}
+
+
+def build_vgg(config: str = "D", input_size: int = 224) -> Network:
+    """Build one of the VGG configurations (A, B, C, D or E)."""
+    config = config.upper()
+    if config not in VGG_CONFIGS:
+        raise KeyError(f"unknown VGG configuration {config!r}; choose from {sorted(VGG_CONFIGS)}")
+
+    net = Network(f"vgg-{config.lower()}")
+    net.add_layer(InputLayer("data", shape=(3, input_size, input_size)))
+
+    previous = "data"
+    block = 1
+    conv_in_block = 0
+    for entry in VGG_CONFIGS[config]:
+        if entry == "M":
+            name = f"pool{block}"
+            net.add_layer(
+                PoolLayer(name, kernel=2, stride=2, mode=PoolMode.MAX, ceil_mode=False),
+                [previous],
+            )
+            previous = name
+            block += 1
+            conv_in_block = 0
+            continue
+        out_channels, kernel = entry
+        conv_in_block += 1
+        name = f"conv{block}_{conv_in_block}"
+        padding = 1 if kernel == 3 else 0
+        net.add_layer(
+            ConvLayer(name, out_channels=out_channels, kernel=kernel, stride=1, padding=padding),
+            [previous],
+        )
+        relu_name = f"relu{block}_{conv_in_block}"
+        net.add_layer(ReLULayer(relu_name), [name])
+        previous = relu_name
+
+    net.add_layer(FlattenLayer("flatten"), [previous])
+    net.add_layer(FullyConnectedLayer("fc6", out_features=4096), ["flatten"])
+    net.add_layer(ReLULayer("relu6"), ["fc6"])
+    net.add_layer(DropoutLayer("drop6"), ["relu6"])
+    net.add_layer(FullyConnectedLayer("fc7", out_features=4096), ["drop6"])
+    net.add_layer(ReLULayer("relu7"), ["fc7"])
+    net.add_layer(DropoutLayer("drop7"), ["relu7"])
+    net.add_layer(FullyConnectedLayer("fc8", out_features=1000), ["drop7"])
+    net.add_layer(SoftmaxLayer("prob"), ["fc8"])
+
+    net.validate()
+    return net

@@ -1,0 +1,52 @@
+"""Exhaustive PBQP oracle used to validate the solver in tests.
+
+Enumerates every full assignment of a (small) PBQP instance and returns the
+cheapest one.  Exponential in the number of nodes — only suitable for the
+randomized instances used by the test suite, never for real selection
+problems.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, Tuple
+
+from repro.pbqp.graph import PBQPGraph
+from repro.pbqp.solution import PBQPSolution
+
+
+def brute_force_solve(graph: PBQPGraph, limit: int = 2_000_000) -> PBQPSolution:
+    """Return the optimal solution by exhaustive enumeration.
+
+    Parameters
+    ----------
+    graph:
+        The instance to solve.
+    limit:
+        Safety cap on the number of assignments enumerated.
+
+    Raises
+    ------
+    ValueError
+        If the search space exceeds ``limit``.
+    """
+    node_ids = graph.node_ids
+    sizes = [graph.node(nid).degree_of_freedom for nid in node_ids]
+    total = 1
+    for size in sizes:
+        total *= size
+    if total > limit:
+        raise ValueError(
+            f"brute force search space {total} exceeds limit {limit}; use the PBQP solver"
+        )
+
+    best_cost = math.inf
+    best_assignment: Dict[int, int] = {nid: 0 for nid in node_ids}
+    for combo in itertools.product(*(range(size) for size in sizes)):
+        assignment = dict(zip(node_ids, combo))
+        cost = graph.solution_cost(assignment)
+        if cost < best_cost:
+            best_cost = cost
+            best_assignment = assignment
+    return PBQPSolution(assignment=best_assignment, cost=best_cost, optimal=True)

@@ -1,0 +1,173 @@
+"""Optimality-preserving PBQP reductions and the RN heuristic.
+
+The solver follows the classic reduce-and-back-propagate scheme of Scholz &
+Eckstein:
+
+* **R0** removes an isolated node; its optimal alternative is simply the
+  minimum of its cost vector.
+* **R1** removes a degree-1 node by folding, for every alternative of its
+  single neighbor, the best combined (node + edge) cost into the neighbor's
+  cost vector.
+* **R2** removes a degree-2 node by folding the best combined cost for every
+  pair of neighbor alternatives into (or onto) the edge between the two
+  neighbors.
+* **RN** is the heuristic step for irreducible nodes (degree >= 3): an
+  alternative is committed greedily and its edge rows are folded into the
+  neighbors' cost vectors.  RN does not preserve optimality, which is why the
+  solver prefers exhaustive search on small irreducible cores.
+
+Each application returns a *record* carrying everything back-propagation
+needs to recover the removed node's optimal alternative once its neighbors
+have been decided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.pbqp.graph import PBQPGraph
+
+
+@dataclass
+class ReductionRecord:
+    """Base class for reduction records pushed onto the solver's stack."""
+
+    node_id: int
+
+    def back_propagate(self, assignment: Dict[int, int]) -> int:
+        """Decide the removed node's alternative given its neighbors' decisions."""
+        raise NotImplementedError
+
+
+@dataclass
+class R0Record(ReductionRecord):
+    """Record of an R0 reduction (isolated node)."""
+
+    costs: np.ndarray = None
+
+    def back_propagate(self, assignment: Dict[int, int]) -> int:
+        return int(np.argmin(self.costs))
+
+
+@dataclass
+class R1Record(ReductionRecord):
+    """Record of an R1 reduction (degree-1 node folded into its neighbor)."""
+
+    costs: np.ndarray = None
+    neighbor: int = -1
+    matrix: np.ndarray = None  # oriented node -> neighbor
+
+    def back_propagate(self, assignment: Dict[int, int]) -> int:
+        j = assignment[self.neighbor]
+        combined = self.costs + self.matrix[:, j]
+        return int(np.argmin(combined))
+
+
+@dataclass
+class R2Record(ReductionRecord):
+    """Record of an R2 reduction (degree-2 node folded onto the edge between its neighbors)."""
+
+    costs: np.ndarray = None
+    neighbor_u: int = -1
+    neighbor_v: int = -1
+    matrix_u: np.ndarray = None  # oriented node -> neighbor_u
+    matrix_v: np.ndarray = None  # oriented node -> neighbor_v
+
+    def back_propagate(self, assignment: Dict[int, int]) -> int:
+        ju = assignment[self.neighbor_u]
+        jv = assignment[self.neighbor_v]
+        combined = self.costs + self.matrix_u[:, ju] + self.matrix_v[:, jv]
+        return int(np.argmin(combined))
+
+
+@dataclass
+class RNRecord(ReductionRecord):
+    """Record of an RN heuristic step; the alternative was committed eagerly."""
+
+    chosen: int = 0
+
+    def back_propagate(self, assignment: Dict[int, int]) -> int:
+        return self.chosen
+
+
+# ---------------------------------------------------------------------------
+# Reduction applications (they mutate the working graph).
+# ---------------------------------------------------------------------------
+
+
+def apply_r0(graph: PBQPGraph, node_id: int) -> R0Record:
+    """Apply R0 to an isolated node and remove it from the graph."""
+    if graph.degree(node_id) != 0:
+        raise ValueError(f"R0 requires an isolated node, {node_id} has degree {graph.degree(node_id)}")
+    node = graph.node(node_id)
+    record = R0Record(node_id=node_id, costs=node.costs.copy())
+    graph.remove_node(node_id)
+    return record
+
+
+def apply_r1(graph: PBQPGraph, node_id: int) -> R1Record:
+    """Apply R1 to a degree-1 node, folding its costs into its neighbor."""
+    if graph.degree(node_id) != 1:
+        raise ValueError(f"R1 requires a degree-1 node, {node_id} has degree {graph.degree(node_id)}")
+    (neighbor,) = graph.neighbors(node_id)
+    node = graph.node(node_id)
+    matrix = graph.edge_matrix(node_id, neighbor)
+    record = R1Record(
+        node_id=node_id, costs=node.costs.copy(), neighbor=neighbor, matrix=matrix.copy()
+    )
+    # For every alternative j of the neighbor, the removed node contributes the
+    # best achievable cost min_i (c[i] + M[i, j]).
+    folded = np.min(node.costs[:, None] + matrix, axis=0)
+    graph.node(neighbor).costs += folded
+    graph.remove_node(node_id)
+    return record
+
+
+def apply_r2(graph: PBQPGraph, node_id: int) -> R2Record:
+    """Apply R2 to a degree-2 node, folding it onto the edge between its neighbors."""
+    if graph.degree(node_id) != 2:
+        raise ValueError(f"R2 requires a degree-2 node, {node_id} has degree {graph.degree(node_id)}")
+    neighbor_u, neighbor_v = graph.neighbors(node_id)
+    node = graph.node(node_id)
+    matrix_u = graph.edge_matrix(node_id, neighbor_u)
+    matrix_v = graph.edge_matrix(node_id, neighbor_v)
+    record = R2Record(
+        node_id=node_id,
+        costs=node.costs.copy(),
+        neighbor_u=neighbor_u,
+        neighbor_v=neighbor_v,
+        matrix_u=matrix_u.copy(),
+        matrix_v=matrix_v.copy(),
+    )
+    # delta[ju, jv] = min_i (c[i] + Mu[i, ju] + Mv[i, jv])
+    combined = node.costs[:, None, None] + matrix_u[:, :, None] + matrix_v[:, None, :]
+    delta = np.min(combined, axis=0)
+    graph.remove_node(node_id)
+    graph.add_edge(neighbor_u, neighbor_v, delta)
+    return record
+
+
+def apply_rn(graph: PBQPGraph, node_id: int) -> RNRecord:
+    """Apply the RN heuristic: commit a locally good alternative and fold it away.
+
+    The heuristic chooses the alternative minimizing the node cost plus, for
+    every incident edge, the best-case edge cost (the row minimum).  The
+    chosen row of every incident edge matrix is then added to the neighbor's
+    cost vector, and the node is removed.
+    """
+    neighbors = graph.neighbors(node_id)
+    node = graph.node(node_id)
+    heuristic = node.costs.copy()
+    matrices = {}
+    for neighbor in neighbors:
+        matrix = graph.edge_matrix(node_id, neighbor)
+        matrices[neighbor] = matrix
+        heuristic = heuristic + np.min(matrix, axis=1)
+    chosen = int(np.argmin(heuristic))
+    for neighbor in neighbors:
+        graph.node(neighbor).costs += matrices[neighbor][chosen, :]
+    graph.remove_node(node_id)
+    return RNRecord(node_id=node_id, chosen=chosen)

@@ -1,0 +1,48 @@
+"""PBQP solutions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.pbqp.graph import PBQPGraph
+
+
+@dataclass
+class PBQPSolution:
+    """An assignment of one alternative to every PBQP node.
+
+    Attributes
+    ----------
+    assignment:
+        Mapping from node id to the index of the selected alternative.
+    cost:
+        Total cost of the assignment (node costs plus edge costs).
+    optimal:
+        ``True`` when the solver proved the assignment optimal (only
+        optimality-preserving reductions / exhaustive search were used),
+        ``False`` when the RN heuristic was involved.
+    """
+
+    assignment: Dict[int, int]
+    cost: float
+    optimal: bool = True
+
+    def selection(self, node_id: int) -> int:
+        """Index of the alternative selected for ``node_id``."""
+        return self.assignment[node_id]
+
+    def named_selection(self, graph: PBQPGraph) -> Dict[str, str]:
+        """Human-readable mapping from node name to selected alternative label."""
+        result: Dict[str, str] = {}
+        for node_id, index in self.assignment.items():
+            node = graph.node(node_id)
+            result[node.name] = node.label_of(index)
+        return result
+
+    def verify(self, graph: PBQPGraph, tolerance: float = 1e-6) -> bool:
+        """Check that the recorded cost matches a fresh evaluation on ``graph``."""
+        actual = graph.solution_cost(self.assignment)
+        if actual == float("inf") and self.cost == float("inf"):
+            return True
+        return abs(actual - self.cost) <= tolerance * max(1.0, abs(actual))

@@ -1,0 +1,63 @@
+"""The DNN primitive library.
+
+The paper's evaluation uses a library of **more than 70 primitive routines**
+implementing DNN convolution, drawn from six families (section 4):
+
+* ``sum2d`` — the textbook sum-of-single-channels direct loop, used as the
+  common baseline of every figure;
+* the **direct-loop** family — six-deep loop nests with different loop orders,
+  tilings and vectorization factors;
+* the **im2** family — im2col / im2row: build a Toeplitz-style patch matrix
+  and call a single GEMM;
+* the **kn2** family — low-memory GEMM-based convolution (kn2row / kn2col)
+  computed as an accumulation of k*k GEMMs;
+* the **Winograd** family — fast convolution with a theoretically minimal
+  number of multiplications, in 1D (low memory) and 2D (fewer operations)
+  forms and for several tile sizes;
+* the **fft** family — FFT convolution via the convolution theorem, as a sum
+  of 1D FFT convolutions or as a full 2D FFT.
+
+Every primitive is functionally executable on numpy tensors (and verified
+against the reference convolution in the test suite), declares the data
+layouts it consumes and produces, the scenarios it supports, and exposes the
+operation/memory counts the analytical cost model prices.
+
+:func:`default_primitive_library` instantiates the full library (>70 variants).
+"""
+
+from repro.primitives.base import (
+    ConvPrimitive,
+    PrimitiveFamily,
+    UnsupportedScenarioError,
+)
+from repro.primitives.reference import reference_convolution, Sum2DPrimitive
+from repro.primitives.direct import DirectLoopPrimitive
+from repro.primitives.im2 import Im2ColPrimitive, Im2RowPrimitive
+from repro.primitives.kn2 import Kn2RowPrimitive, Kn2ColPrimitive
+from repro.primitives.winograd import (
+    Winograd2DPrimitive,
+    Winograd1DPrimitive,
+    winograd_matrices,
+)
+from repro.primitives.fft import FFT1DPrimitive, FFT2DPrimitive
+from repro.primitives.registry import PrimitiveLibrary, default_primitive_library
+
+__all__ = [
+    "ConvPrimitive",
+    "PrimitiveFamily",
+    "UnsupportedScenarioError",
+    "reference_convolution",
+    "Sum2DPrimitive",
+    "DirectLoopPrimitive",
+    "Im2ColPrimitive",
+    "Im2RowPrimitive",
+    "Kn2RowPrimitive",
+    "Kn2ColPrimitive",
+    "Winograd2DPrimitive",
+    "Winograd1DPrimitive",
+    "winograd_matrices",
+    "FFT1DPrimitive",
+    "FFT2DPrimitive",
+    "PrimitiveLibrary",
+    "default_primitive_library",
+]

@@ -1,0 +1,268 @@
+"""Base classes for DNN convolution primitives.
+
+A *primitive* is one concrete routine implementing DNN convolution.  The
+paper models a primitive as the 3-tuple ``{L_in, P, L_out}`` — input layout,
+primitive identifier, output layout (section 3): a primitive only accepts
+inputs in its declared layout and only produces outputs in its declared
+layout, and connecting two primitives whose layouts disagree requires a data
+layout transformation.
+
+Every primitive here is *functionally executable*: :meth:`ConvPrimitive.execute`
+computes a numerically correct convolution on numpy tensors, which the test
+suite verifies against the reference implementation.  In addition, each
+primitive exposes the quantities the analytical platform model prices —
+arithmetic operation count, memory traffic and workspace footprint — which is
+how the reproduction substitutes for wall-clock profiling of hand-tuned
+C/assembly kernels on the paper's two hardware platforms (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.scenario import ConvScenario
+from repro.layouts.layout import CHW, Layout
+from repro.layouts.tensor import LayoutTensor
+
+
+class UnsupportedScenarioError(ValueError):
+    """Raised when a primitive is executed on a scenario it does not support."""
+
+
+class PrimitiveFamily(str, enum.Enum):
+    """The six convolution algorithm families of section 4 of the paper."""
+
+    SUM2D = "sum2d"
+    DIRECT = "direct"
+    IM2 = "im2"
+    KN2 = "kn2"
+    WINOGRAD = "winograd"
+    FFT = "fft"
+
+
+@dataclass(frozen=True)
+class PrimitiveTraits:
+    """Static, platform-independent characteristics used by the cost model.
+
+    Attributes
+    ----------
+    gemm_fraction:
+        Fraction of the arithmetic performed inside large, regular GEMM-like
+        kernels (which achieve high fractions of machine peak) as opposed to
+        irregular scalar code.
+    locality:
+        A [0, 1] score describing the spatial/temporal locality of the
+        memory access pattern of the non-GEMM portion of the algorithm.
+    parallel_efficiency:
+        Fraction of ideal speedup achieved under multithreaded execution.
+    per_call_overhead_ops:
+        Fixed overhead (scheduling, buffer management, transform setup)
+        expressed in scalar-operation equivalents, charged once per layer
+        invocation.  Penalizes algorithms that are expensive to set up on
+        tiny layers (e.g. FFT plans, Winograd transforms on 1x1-sized work).
+    """
+
+    gemm_fraction: float
+    locality: float
+    parallel_efficiency: float
+    per_call_overhead_ops: float = 0.0
+
+
+class ConvPrimitive:
+    """Abstract base class for convolution primitives.
+
+    Parameters
+    ----------
+    name:
+        Unique primitive identifier, e.g. ``"winograd_2d_m2_r3_vf8"``.
+    family:
+        The algorithm family (section 4 of the paper).
+    input_layout, output_layout:
+        The layouts consumed and produced.  An edge between two primitives is
+        legal iff the producer's output layout equals the consumer's input
+        layout; otherwise the legalizer must insert transformations.
+    vector_factor:
+        The SIMD width (FP32 lanes) the variant is written for: 1 (scalar),
+        4 (NEON) or 8 (AVX2).  A variant whose vector factor exceeds the
+        platform's native width is heavily penalized by the cost model,
+        which is how the selector ends up picking VF8 variants on Haswell and
+        VF4 variants on Cortex-A57 (Figure 4 of the paper).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        family: PrimitiveFamily,
+        input_layout: Layout = CHW,
+        output_layout: Layout = CHW,
+        vector_factor: int = 1,
+    ) -> None:
+        if vector_factor < 1:
+            raise ValueError("vector_factor must be >= 1")
+        self.name = name
+        self.family = family
+        self.input_layout = input_layout
+        self.output_layout = output_layout
+        self.vector_factor = vector_factor
+
+    # -- capability -------------------------------------------------------------
+
+    def supports(self, scenario: ConvScenario) -> bool:
+        """Whether this primitive can implement the given scenario."""
+        return True
+
+    def traits(self) -> PrimitiveTraits:
+        """Platform-independent characteristics priced by the cost model."""
+        raise NotImplementedError
+
+    # -- work estimates ------------------------------------------------------------
+
+    def arithmetic_ops(self, scenario: ConvScenario) -> float:
+        """Floating-point operations actually executed by this algorithm.
+
+        Direct, im2 and kn2 algorithms all perform the textbook operation
+        count; fast algorithms (Winograd) perform fewer multiplications and
+        FFT-based convolution has an asymptotically different count.
+        """
+        return float(scenario.flops())
+
+    def workspace_elements(self, scenario: ConvScenario) -> float:
+        """Extra scratch elements allocated beyond input, kernel and output."""
+        return 0.0
+
+    def inner_working_set_elements(self, scenario: ConvScenario) -> float:
+        """Elements the innermost kernel needs resident in the per-core cache.
+
+        Zero (the default) means the algorithm's inner loops are blocked to
+        fit any reasonable cache (GEMM-based algorithms tile their operands by
+        construction).  Algorithms whose inner stage must keep a structurally
+        determined working set live — such as the per-tile transformed-domain
+        buffers of 2D Winograd — report it here, and the cost model penalizes
+        variants whose inner working set overflows the per-core cache.  This
+        is the mechanism behind the paper's observation that the low-memory
+        1D Winograd form wins on the small-cache Cortex-A57 while the
+        operation-minimal 2D form wins on the Haswell part (Figure 4).
+        """
+        return 0.0
+
+    def memory_traffic_elements(self, scenario: ConvScenario) -> float:
+        """Tensor elements moved to/from memory, including workspace traffic."""
+        base = (
+            scenario.input_elements()
+            + scenario.output_elements()
+            + scenario.kernel_elements()
+        )
+        return float(base) + 2.0 * self.workspace_elements(scenario)
+
+    # -- execution ---------------------------------------------------------------
+
+    def execute(
+        self,
+        tensor: LayoutTensor,
+        kernel: np.ndarray,
+        scenario: ConvScenario,
+    ) -> LayoutTensor:
+        """Run the primitive.
+
+        ``tensor`` must be stored in :attr:`input_layout`; the kernel is a
+        ``(M, C/groups, K, K)`` array; the result is produced in
+        :attr:`output_layout`.
+        """
+        if not self.supports(scenario):
+            raise UnsupportedScenarioError(
+                f"{self.name} does not support scenario [{scenario.describe()}]"
+            )
+        if tensor.layout != self.input_layout:
+            raise UnsupportedScenarioError(
+                f"{self.name} expects layout {self.input_layout.name}, "
+                f"got {tensor.layout.name}"
+            )
+        if tensor.logical_shape != scenario.input_shape:
+            raise ValueError(
+                f"input tensor shape {tensor.logical_shape} does not match "
+                f"scenario input shape {scenario.input_shape}"
+            )
+        kernel = np.asarray(kernel)
+        if kernel.shape != scenario.kernel_shape:
+            raise ValueError(
+                f"kernel shape {kernel.shape} does not match scenario kernel "
+                f"shape {scenario.kernel_shape}"
+            )
+        x_chw = tensor.to_chw()
+        out_chw = self._run_grouped(x_chw, kernel, scenario)
+        expected = scenario.output_shape
+        if out_chw.shape != expected:
+            raise RuntimeError(
+                f"{self.name} produced shape {out_chw.shape}, expected {expected}"
+            )
+        return LayoutTensor.from_chw(out_chw.astype(tensor.dtype, copy=False), self.output_layout)
+
+    # -- helpers for subclasses ----------------------------------------------------
+
+    def _run_grouped(
+        self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario
+    ) -> np.ndarray:
+        """Handle padding and grouped convolution, delegating per-group work."""
+        padded, inner = _pad_scenario(x_chw, scenario)
+        if scenario.groups == 1:
+            return self._compute(padded, kernel, inner)
+        group_c = scenario.c // scenario.groups
+        group_m = scenario.m // scenario.groups
+        outputs = []
+        for g in range(scenario.groups):
+            sub_scenario = ConvScenario(
+                c=group_c,
+                h=inner.h,
+                w=inner.w,
+                stride=inner.stride,
+                k=inner.k,
+                m=group_m,
+                padding=0,
+                groups=1,
+            )
+            x_group = padded[g * group_c : (g + 1) * group_c]
+            k_group = kernel[g * group_m : (g + 1) * group_m]
+            outputs.append(self._compute(x_group, k_group, sub_scenario))
+        return np.concatenate(outputs, axis=0)
+
+    def _compute(
+        self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario
+    ) -> np.ndarray:
+        """Compute a single-group, already-padded convolution in CHW space.
+
+        ``scenario`` has ``padding=0`` and ``groups=1``; ``x_chw`` has shape
+        ``scenario.input_shape`` and the kernel ``scenario.kernel_shape``.
+        Subclasses implement their algorithm here.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(name={self.name!r}, "
+            f"{self.input_layout.name}->{self.output_layout.name}, vf={self.vector_factor})"
+        )
+
+
+def _pad_scenario(
+    x_chw: np.ndarray, scenario: ConvScenario
+) -> Tuple[np.ndarray, ConvScenario]:
+    """Zero-pad the input and return the equivalent padding-free scenario."""
+    if scenario.padding == 0:
+        return x_chw, scenario
+    pad = scenario.padding
+    padded = np.pad(x_chw, ((0, 0), (pad, pad), (pad, pad)), mode="constant")
+    inner = ConvScenario(
+        c=scenario.c,
+        h=scenario.h + 2 * pad,
+        w=scenario.w + 2 * pad,
+        stride=scenario.stride,
+        k=scenario.k,
+        m=scenario.m,
+        padding=0,
+        groups=scenario.groups,
+    )
+    return padded, inner

@@ -1,0 +1,176 @@
+"""The fft family: convolution via the convolution theorem.
+
+Section 4: "the fft family of methods perform FFT convolution via the
+convolution theorem, by first computing the Fourier transform of the input
+image and the kernel, applying a pointwise multiplication, and then computing
+the inverse Fourier transform of the resulting matrix to produce the output.
+Our fft implementations compute 2D convolution as a sum of 1D FFT
+convolutions, which requires less space than 2D FFT convolution at the cost
+of more operations."
+
+Both shapes are provided: the paper's row-wise 1D-sum formulation
+(:class:`FFT1DPrimitive`) and a full 2D-FFT formulation
+(:class:`FFT2DPrimitive`).  FFT convolution pays a large fixed transform cost
+that is only amortized for large kernels, which is why Table 1 lists "small
+kernel" as the family's bad case.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.graph.scenario import ConvScenario
+from repro.layouts.layout import CHW, HWC, Layout
+from repro.primitives.base import ConvPrimitive, PrimitiveFamily, PrimitiveTraits
+
+
+def _fft_length(size: int) -> int:
+    """Smallest power of two that holds a linear convolution of this size."""
+    length = 1
+    while length < size:
+        length *= 2
+    return length
+
+
+class _FFTBase(ConvPrimitive):
+    """Shared capability and trait structure of the fft family."""
+
+    def supports(self, scenario: ConvScenario) -> bool:
+        # Strided convolution would waste most of the transformed output;
+        # like the paper's implementation we only offer unit stride.
+        return scenario.stride == 1
+
+    def traits(self) -> PrimitiveTraits:
+        return PrimitiveTraits(
+            gemm_fraction=0.55,
+            locality=0.55,
+            parallel_efficiency=0.78,
+            per_call_overhead_ops=40_000.0,
+        )
+
+
+class FFT1DPrimitive(_FFTBase):
+    """2D convolution as a sum of 1D FFT convolutions along image rows."""
+
+    def __init__(
+        self,
+        name: str,
+        input_layout: Layout = CHW,
+        output_layout: Layout = CHW,
+        vector_factor: int = 1,
+    ) -> None:
+        super().__init__(
+            name=name,
+            family=PrimitiveFamily.FFT,
+            input_layout=input_layout,
+            output_layout=output_layout,
+            vector_factor=vector_factor,
+        )
+
+    def arithmetic_ops(self, scenario: ConvScenario) -> float:
+        c = scenario.c // scenario.groups
+        length = _fft_length(scenario.w + scenario.k - 1)
+        log_len = max(math.log2(length), 1.0)
+        rows = scenario.h
+        # Forward transforms of the input rows, kernel-row transforms (the
+        # spectra are too large to keep precomputed for every filter),
+        # pointwise complex multiplies and inverse transforms.
+        filters = scenario.m // scenario.groups
+        fft_cost = 5.0 * length * log_len
+        forward = c * rows * fft_cost
+        kernels = scenario.k * filters * c * fft_cost
+        pointwise = scenario.k * filters * c * scenario.out_h * 6.0 * length
+        inverse = scenario.k * filters * scenario.out_h * fft_cost
+        return scenario.groups * (forward + kernels + pointwise + inverse)
+
+    def workspace_elements(self, scenario: ConvScenario) -> float:
+        c = scenario.c // scenario.groups
+        length = _fft_length(scenario.w + scenario.k - 1)
+        # One row-spectrum slab per channel plus a blocked window of the
+        # precomputed kernel-row spectra (complex, hence the factor two); the
+        # kernel spectra are streamed in blocks of at most 16 output maps.
+        m_block = min(scenario.m // scenario.groups, 16)
+        return float(2 * (c * scenario.h * length + m_block * c * scenario.k * length))
+
+    def _compute(self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario) -> np.ndarray:
+        c, k, m = scenario.c, scenario.k, scenario.m
+        out_h, out_w = scenario.out_h, scenario.out_w
+        length = _fft_length(scenario.w + k - 1)
+        x64 = x_chw.astype(np.float64, copy=False)
+        kernel64 = kernel.astype(np.float64, copy=False)
+
+        out = np.zeros((m, out_h, out_w), dtype=np.float64)
+        # Precompute kernel row spectra with the rows reversed so that the
+        # circular convolution implements correlation.
+        kernel_spectra = np.fft.rfft(kernel64[:, :, :, ::-1], n=length, axis=3)  # (M, C, K, F)
+        for kh in range(k):
+            rows = x64[:, kh : kh + out_h, :]  # (C, out_h, W)
+            row_spectra = np.fft.rfft(rows, n=length, axis=2)  # (C, out_h, F)
+            # Sum over channels of the pointwise product: (M, out_h, F).
+            prod = np.einsum("mcf,chf->mhf", kernel_spectra[:, :, kh, :], row_spectra, optimize=True)
+            conv = np.fft.irfft(prod, n=length, axis=2)
+            # Full linear convolution with the reversed kernel row: the valid
+            # correlation outputs start at index k-1.
+            out += conv[:, :, k - 1 : k - 1 + out_w]
+        return out
+
+
+class FFT2DPrimitive(_FFTBase):
+    """Full 2D-FFT convolution (more memory, fewer operations per pixel)."""
+
+    def __init__(
+        self,
+        name: str,
+        input_layout: Layout = CHW,
+        output_layout: Layout = CHW,
+        vector_factor: int = 1,
+    ) -> None:
+        super().__init__(
+            name=name,
+            family=PrimitiveFamily.FFT,
+            input_layout=input_layout,
+            output_layout=output_layout,
+            vector_factor=vector_factor,
+        )
+
+    def arithmetic_ops(self, scenario: ConvScenario) -> float:
+        c = scenario.c // scenario.groups
+        fft_h = _fft_length(scenario.h + scenario.k - 1)
+        fft_w = _fft_length(scenario.w + scenario.k - 1)
+        size = fft_h * fft_w
+        log_size = max(math.log2(size), 1.0)
+        filters = scenario.m // scenario.groups
+        fft_cost = 5.0 * size * log_size
+        forward = c * fft_cost
+        kernels = filters * c * fft_cost
+        pointwise = filters * c * 6.0 * size
+        inverse = filters * fft_cost
+        return scenario.groups * (forward + kernels + pointwise + inverse)
+
+    def workspace_elements(self, scenario: ConvScenario) -> float:
+        c = scenario.c // scenario.groups
+        fft_h = _fft_length(scenario.h + scenario.k - 1)
+        fft_w = _fft_length(scenario.w + scenario.k - 1)
+        size = fft_h * fft_w
+        # Complex spectra of the input channels, a blocked window of the
+        # precomputed kernel spectra and the output spectra — still the large
+        # footprint that makes 2D-FFT unattractive for DNN layers.
+        filters = scenario.m // scenario.groups
+        m_block = min(filters, 16)
+        return float(2 * (c * size + m_block * c * size + filters * size))
+
+    def _compute(self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario) -> np.ndarray:
+        c, k, m = scenario.c, scenario.k, scenario.m
+        out_h, out_w = scenario.out_h, scenario.out_w
+        fft_h = _fft_length(scenario.h + k - 1)
+        fft_w = _fft_length(scenario.w + k - 1)
+        x64 = x_chw.astype(np.float64, copy=False)
+        kernel64 = kernel.astype(np.float64, copy=False)
+
+        input_spectra = np.fft.rfft2(x64, s=(fft_h, fft_w))  # (C, fft_h, F)
+        kernel_spectra = np.fft.rfft2(kernel64[:, :, ::-1, ::-1], s=(fft_h, fft_w))  # (M, C, fft_h, F)
+        prod = np.einsum("mchf,chf->mhf", kernel_spectra, input_spectra, optimize=True)
+        conv = np.fft.irfft2(prod, s=(fft_h, fft_w))
+        return conv[:, k - 1 : k - 1 + out_h, k - 1 : k - 1 + out_w]

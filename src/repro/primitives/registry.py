@@ -1,0 +1,210 @@
+"""The primitive library: construction and lookup of the full variant set.
+
+The paper's library contains "over 70 different primitive routines that
+implement DNN convolution" across six algorithm families (section 3.1).
+:func:`default_primitive_library` builds the equivalent library for this
+reproduction: every entry is an executable :class:`~repro.primitives.base.ConvPrimitive`
+with its own layouts, vectorization factor and algorithm parameters, so the
+selection problem has the same structure (and roughly the same size) as the
+paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.graph.scenario import ConvScenario
+from repro.layouts.layout import CHW, CHW4c, CHW8c, HCW, HWC, HWC4c, HWC8c, Layout
+from repro.primitives.base import ConvPrimitive, PrimitiveFamily
+from repro.primitives.direct import DirectLoopPrimitive
+from repro.primitives.fft import FFT1DPrimitive, FFT2DPrimitive
+from repro.primitives.im2 import Im2ColPrimitive, Im2RowPrimitive
+from repro.primitives.kn2 import Kn2ColPrimitive, Kn2RowPrimitive
+from repro.primitives.reference import Sum2DPrimitive
+from repro.primitives.winograd import Winograd1DPrimitive, Winograd2DPrimitive
+
+
+class PrimitiveLibrary:
+    """An indexed collection of convolution primitives."""
+
+    def __init__(self, primitives: Iterable[ConvPrimitive]) -> None:
+        self._primitives: Dict[str, ConvPrimitive] = {}
+        for primitive in primitives:
+            if primitive.name in self._primitives:
+                raise ValueError(f"duplicate primitive name {primitive.name!r}")
+            self._primitives[primitive.name] = primitive
+
+    def __len__(self) -> int:
+        return len(self._primitives)
+
+    def __iter__(self):
+        return iter(self._primitives.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._primitives
+
+    def get(self, name: str) -> ConvPrimitive:
+        """Look up a primitive by name."""
+        try:
+            return self._primitives[name]
+        except KeyError:
+            raise KeyError(f"no primitive named {name!r} in the library") from None
+
+    def names(self) -> List[str]:
+        return list(self._primitives.keys())
+
+    def primitives(self) -> List[ConvPrimitive]:
+        return list(self._primitives.values())
+
+    def by_family(self, family: PrimitiveFamily) -> List[ConvPrimitive]:
+        """All primitives belonging to one algorithm family."""
+        return [p for p in self._primitives.values() if p.family is family]
+
+    def applicable(
+        self, scenario: ConvScenario, family: Optional[PrimitiveFamily] = None
+    ) -> List[ConvPrimitive]:
+        """Primitives that support the given scenario (optionally one family only)."""
+        candidates = self.primitives() if family is None else self.by_family(family)
+        return [p for p in candidates if p.supports(scenario)]
+
+    def layouts_used(self) -> List[Layout]:
+        """Every distinct layout consumed or produced by some primitive."""
+        seen: Dict[str, Layout] = {}
+        for primitive in self._primitives.values():
+            seen.setdefault(primitive.input_layout.name, primitive.input_layout)
+            seen.setdefault(primitive.output_layout.name, primitive.output_layout)
+        return list(seen.values())
+
+    def subset(self, names: Sequence[str]) -> "PrimitiveLibrary":
+        """A new library containing only the named primitives."""
+        return PrimitiveLibrary([self.get(name) for name in names])
+
+
+def _direct_variants() -> List[ConvPrimitive]:
+    """Direct-loop variants: loop orders x layouts x vector factors."""
+    variants: List[ConvPrimitive] = []
+    layout_for_vf = {1: CHW, 4: CHW4c, 8: CHW8c}
+    for loop_order in ("MCHW", "CMHW", "MHWC", "HWMC", "MHWC_T8", "HWMC_T8"):
+        for vf in (1, 4, 8):
+            layout = layout_for_vf[vf]
+            variants.append(
+                DirectLoopPrimitive(
+                    name=f"direct_{loop_order.lower()}_vf{vf}",
+                    loop_order=loop_order,
+                    input_layout=layout,
+                    output_layout=layout,
+                    vector_factor=vf,
+                )
+            )
+    # A pair of channel-minor direct loops (scalar only), used by HWC pipelines.
+    for loop_order in ("MHWC", "HWMC"):
+        variants.append(
+            DirectLoopPrimitive(
+                name=f"direct_{loop_order.lower()}_hwc_vf1",
+                loop_order=loop_order,
+                input_layout=HWC,
+                output_layout=HWC,
+                vector_factor=1,
+            )
+        )
+    return variants
+
+
+def _im2_variants() -> List[ConvPrimitive]:
+    """im2col / im2row variants: orientation x kernel transpose x vector factor."""
+    variants: List[ConvPrimitive] = []
+    for vf in (1, 4, 8):
+        for transpose in (False, True):
+            suffix = "_bt" if transpose else ""
+            variants.append(
+                Im2ColPrimitive(
+                    name=f"im2col{suffix}_vf{vf}", transpose_kernel=transpose, vector_factor=vf
+                )
+            )
+            variants.append(
+                Im2RowPrimitive(
+                    name=f"im2row{suffix}_vf{vf}", transpose_kernel=transpose, vector_factor=vf
+                )
+            )
+    return variants
+
+
+def _kn2_variants() -> List[ConvPrimitive]:
+    """kn2row / kn2col variants: orientation x accumulation strategy x vector factor."""
+    variants: List[ConvPrimitive] = []
+    for vf in (1, 4, 8):
+        for accumulating in (True, False):
+            suffix = "_acc" if accumulating else "_scratch"
+            variants.append(
+                Kn2RowPrimitive(
+                    name=f"kn2row{suffix}_vf{vf}", accumulating=accumulating, vector_factor=vf
+                )
+            )
+            variants.append(
+                Kn2ColPrimitive(
+                    name=f"kn2col{suffix}_vf{vf}", accumulating=accumulating, vector_factor=vf
+                )
+            )
+    return variants
+
+
+def _winograd_variants() -> List[ConvPrimitive]:
+    """Winograd variants: 1D/2D x tile size x kernel size x vector factor."""
+    variants: List[ConvPrimitive] = []
+    layout_for_vf_2d = {1: CHW, 4: CHW4c, 8: CHW8c}
+    tile_kernel_pairs = [(2, 3), (3, 3), (4, 3), (2, 5), (3, 5)]
+    for tile, kernel in tile_kernel_pairs:
+        for vf in (1, 4, 8):
+            layout = layout_for_vf_2d[vf]
+            variants.append(
+                Winograd2DPrimitive(
+                    name=f"winograd_2d_m{tile}_r{kernel}_vf{vf}",
+                    tile=tile,
+                    kernel_size=kernel,
+                    input_layout=layout,
+                    output_layout=layout,
+                    vector_factor=vf,
+                )
+            )
+        for vf in (1, 4, 8):
+            variants.append(
+                Winograd1DPrimitive(
+                    name=f"winograd_1d_m{tile}_r{kernel}_vf{vf}",
+                    tile=tile,
+                    kernel_size=kernel,
+                    input_layout=HCW,
+                    output_layout=HCW,
+                    vector_factor=vf,
+                )
+            )
+    return variants
+
+
+def _fft_variants() -> List[ConvPrimitive]:
+    """FFT variants: 1D-sum / full-2D x input layout x vector factor."""
+    variants: List[ConvPrimitive] = []
+    for vf in (1, 4, 8):
+        variants.append(
+            FFT1DPrimitive(
+                name=f"fft_1d_chw_vf{vf}", input_layout=CHW, output_layout=CHW, vector_factor=vf
+            )
+        )
+        variants.append(
+            FFT2DPrimitive(
+                name=f"fft_2d_chw_vf{vf}", input_layout=CHW, output_layout=CHW, vector_factor=vf
+            )
+        )
+    variants.append(FFT1DPrimitive(name="fft_1d_hwc", input_layout=HWC, output_layout=HWC))
+    variants.append(FFT2DPrimitive(name="fft_2d_hwc", input_layout=HWC, output_layout=HWC))
+    return variants
+
+
+def default_primitive_library() -> PrimitiveLibrary:
+    """Build the full primitive library (more than 70 convolution routines)."""
+    primitives: List[ConvPrimitive] = [Sum2DPrimitive()]
+    primitives.extend(_direct_variants())
+    primitives.extend(_im2_variants())
+    primitives.extend(_kn2_variants())
+    primitives.extend(_winograd_variants())
+    primitives.extend(_fft_variants())
+    return PrimitiveLibrary(primitives)

@@ -1,0 +1,44 @@
+"""Functional runtime: execute a selected network plan on real tensors.
+
+The paper maps the PBQP solution to code "with a simple code generator which
+emitted calls to primitive operations in our library".  The equivalent here is
+:class:`~repro.runtime.executor.NetworkExecutor`: it walks a
+:class:`~repro.core.plan.NetworkPlan` in topological order, applies the layout
+conversion chains the legalizer inserted on each edge, invokes the selected
+convolution primitive of each convolution layer, and evaluates every other
+layer with the reference operators in :mod:`repro.runtime.reference_ops`.
+
+Because every primitive is numerically correct, *any* plan — PBQP-selected,
+per-family greedy, canonical layout — computes the same function; the
+integration tests rely on this to validate whole plans end to end.
+"""
+
+from repro.runtime.reference_ops import (
+    relu,
+    max_pool,
+    average_pool,
+    local_response_norm,
+    fully_connected,
+    softmax,
+    concat_channels,
+    flatten,
+)
+from repro.runtime.weights import WeightStore
+from repro.runtime.executor import NetworkExecutor, ExecutionTrace
+from repro.runtime.codegen import generate_schedule, ScheduleStep
+
+__all__ = [
+    "relu",
+    "max_pool",
+    "average_pool",
+    "local_response_norm",
+    "fully_connected",
+    "softmax",
+    "concat_channels",
+    "flatten",
+    "WeightStore",
+    "NetworkExecutor",
+    "ExecutionTrace",
+    "generate_schedule",
+    "ScheduleStep",
+]

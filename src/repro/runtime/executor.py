@@ -1,0 +1,184 @@
+"""Execute a network plan on real tensors.
+
+:class:`NetworkExecutor` is the runtime half of the paper's "simple code
+generator which emitted calls to primitive operations in our library": it
+walks the plan's layers in topological order, converts tensors between data
+layouts exactly where the legalizer placed conversion chains, runs the
+selected convolution primitive for each convolution layer, and uses the
+reference operators for everything else.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.plan import NetworkPlan
+from repro.graph.layer import (
+    ConcatLayer,
+    ConvLayer,
+    DropoutLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    LRNLayer,
+    PoolLayer,
+    PoolMode,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.graph.network import Network
+from repro.layouts.layout import CHW
+from repro.layouts.tensor import LayoutTensor
+from repro.primitives.registry import PrimitiveLibrary
+from repro.runtime import reference_ops
+from repro.runtime.weights import WeightStore
+
+
+@dataclass
+class ExecutionTrace:
+    """What happened during one forward pass."""
+
+    layer_order: List[str] = field(default_factory=list)
+    conversions_executed: int = 0
+    wall_seconds: float = 0.0
+    #: Layer name -> output tensor (kept only when tracing is enabled).
+    outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class NetworkExecutor:
+    """Run forward passes of a network according to a selection plan.
+
+    Parameters
+    ----------
+    network:
+        The DNN graph the plan was built for.
+    plan:
+        The selection plan (any strategy).
+    library:
+        The primitive library the plan's primitive names refer to.
+    weights:
+        Optional shared weight store; pass the same store to two executors to
+        compare their outputs on identical weights.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        plan: NetworkPlan,
+        library: PrimitiveLibrary,
+        weights: Optional[WeightStore] = None,
+        seed: int = 0,
+    ) -> None:
+        if plan.network_name != network.name:
+            raise ValueError(
+                f"plan was built for network {plan.network_name!r}, got {network.name!r}"
+            )
+        self.network = network
+        self.plan = plan
+        self.library = library
+        self.weights = weights if weights is not None else WeightStore(network, seed=seed)
+        self._shapes = network.infer_shapes()
+        self._scenarios = network.conv_scenarios()
+        self._edge_chain = {
+            (edge.producer, edge.consumer): edge for edge in plan.edge_decisions
+        }
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, input_chw: np.ndarray, keep_outputs: bool = False) -> np.ndarray:
+        """Execute one forward pass and return the output of the last layer."""
+        result, _ = self.run_traced(input_chw, keep_outputs=keep_outputs)
+        return result
+
+    def run_traced(
+        self, input_chw: np.ndarray, keep_outputs: bool = False
+    ) -> tuple[np.ndarray, ExecutionTrace]:
+        """Execute one forward pass, returning the output and an execution trace."""
+        input_chw = np.asarray(input_chw, dtype=np.float32)
+        trace = ExecutionTrace()
+        start = time.perf_counter()
+        tensors: Dict[str, LayoutTensor] = {}
+
+        for layer in self.network.topological_order():
+            decision = self.plan.decision(layer.name)
+            inputs = [
+                self._converted_input(producer, layer.name, tensors)
+                for producer in self.network.inputs_of(layer.name)
+            ]
+            trace.conversions_executed += sum(
+                1
+                for producer in self.network.inputs_of(layer.name)
+                if self._edge_chain[(producer, layer.name)].needs_conversion
+            )
+
+            if isinstance(layer, InputLayer):
+                if input_chw.shape != layer.shape:
+                    raise ValueError(
+                        f"input has shape {input_chw.shape}, expected {layer.shape}"
+                    )
+                output = LayoutTensor.from_chw(input_chw, decision.output_layout)
+            elif isinstance(layer, ConvLayer):
+                primitive = self.library.get(decision.primitive)
+                kernel = self.weights.conv_weights(layer.name)
+                output = primitive.execute(inputs[0], kernel, self._scenarios[layer.name])
+            else:
+                output_chw = self._run_reference(layer, [t.to_chw() for t in inputs])
+                output = LayoutTensor.from_chw(
+                    output_chw.astype(np.float32, copy=False), decision.output_layout
+                )
+
+            tensors[layer.name] = output
+            trace.layer_order.append(layer.name)
+            if keep_outputs:
+                trace.outputs[layer.name] = output.to_chw()
+
+        outputs = self.network.output_layers()
+        final = tensors[outputs[-1].name].to_chw()
+        trace.wall_seconds = time.perf_counter() - start
+        return final, trace
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _converted_input(
+        self, producer: str, consumer: str, tensors: Dict[str, LayoutTensor]
+    ) -> LayoutTensor:
+        """Apply the edge's conversion chain to the producer's output tensor."""
+        edge = self._edge_chain[(producer, consumer)]
+        tensor = tensors[producer]
+        if edge.chain is None or len(edge.chain) == 0:
+            return tensor
+        return edge.chain.apply(tensor)
+
+    def _run_reference(self, layer, inputs: List[np.ndarray]) -> np.ndarray:
+        """Evaluate a non-convolution layer with the reference operators."""
+        output_shape = self._shapes[layer.name]
+        if isinstance(layer, ReLULayer):
+            return reference_ops.relu(inputs[0])
+        if isinstance(layer, PoolLayer):
+            if layer.mode is PoolMode.MAX:
+                return reference_ops.max_pool(
+                    inputs[0], layer.kernel, layer.stride, layer.padding, output_shape
+                )
+            return reference_ops.average_pool(
+                inputs[0], layer.kernel, layer.stride, layer.padding, output_shape
+            )
+        if isinstance(layer, LRNLayer):
+            return reference_ops.local_response_norm(
+                inputs[0], local_size=layer.local_size, alpha=layer.alpha, beta=layer.beta
+            )
+        if isinstance(layer, FullyConnectedLayer):
+            weights, bias = self.weights.fc_weights(layer.name)
+            return reference_ops.fully_connected(inputs[0], weights, bias)
+        if isinstance(layer, ConcatLayer):
+            return reference_ops.concat_channels(inputs)
+        if isinstance(layer, DropoutLayer):
+            return inputs[0]
+        if isinstance(layer, SoftmaxLayer):
+            return reference_ops.softmax(inputs[0])
+        if isinstance(layer, FlattenLayer):
+            return reference_ops.flatten(inputs[0])
+        raise NotImplementedError(f"no reference operator for layer type {type(layer).__name__}")

@@ -1,0 +1,112 @@
+"""Reference implementations of the non-convolution DNN layers.
+
+The primitive-selection formulation treats these layers as zero-cost dummy
+nodes (paper section 5.2), but the functional runtime still has to execute
+them to run whole networks end to end.  All operators work on canonical
+``(C, H, W)`` numpy arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear activation."""
+    return np.maximum(x, 0.0)
+
+
+def _pool_windows(
+    x: np.ndarray, kernel: int, stride: int, padding: int, out_h: int, out_w: int, pad_value: float
+) -> np.ndarray:
+    """Gather pooling windows into a (C, out_h, out_w, kernel*kernel) array."""
+    c, h, w = x.shape
+    padded = np.full(
+        (c, h + 2 * padding + kernel, w + 2 * padding + kernel), pad_value, dtype=x.dtype
+    )
+    padded[:, padding : padding + h, padding : padding + w] = x
+    windows = np.empty((c, out_h, out_w, kernel * kernel), dtype=x.dtype)
+    index = 0
+    for kh in range(kernel):
+        for kw in range(kernel):
+            windows[:, :, :, index] = padded[
+                :,
+                kh : kh + (out_h - 1) * stride + 1 : stride,
+                kw : kw + (out_w - 1) * stride + 1 : stride,
+            ]
+            index += 1
+    return windows
+
+
+def max_pool(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    output_shape: Tuple[int, int, int],
+) -> np.ndarray:
+    """Max pooling with Caffe-compatible output geometry supplied by the caller."""
+    _, out_h, out_w = output_shape
+    windows = _pool_windows(x, kernel, stride, padding, out_h, out_w, pad_value=-np.inf)
+    return windows.max(axis=3)
+
+
+def average_pool(
+    x: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    output_shape: Tuple[int, int, int],
+) -> np.ndarray:
+    """Average pooling (zero padded, dividing by the full window size)."""
+    _, out_h, out_w = output_shape
+    windows = _pool_windows(x, kernel, stride, padding, out_h, out_w, pad_value=0.0)
+    return windows.sum(axis=3) / float(kernel * kernel)
+
+
+def local_response_norm(
+    x: np.ndarray, local_size: int = 5, alpha: float = 1e-4, beta: float = 0.75, k: float = 1.0
+) -> np.ndarray:
+    """AlexNet-style across-channel local response normalization."""
+    c = x.shape[0]
+    squared = x**2
+    half = local_size // 2
+    scale = np.full_like(x, k)
+    for channel in range(c):
+        lo = max(0, channel - half)
+        hi = min(c, channel + half + 1)
+        scale[channel] += (alpha / local_size) * squared[lo:hi].sum(axis=0)
+    return x / scale**beta
+
+
+def fully_connected(x: np.ndarray, weights: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """Inner-product layer: flattens the input and applies ``W x + b``.
+
+    Returns a ``(out_features, 1, 1)`` tensor to keep the 3D logical shape.
+    """
+    flat = x.reshape(-1)
+    if weights.shape[1] != flat.size:
+        raise ValueError(
+            f"weight matrix expects {weights.shape[1]} inputs, got {flat.size}"
+        )
+    out = weights @ flat + bias
+    return out.reshape(-1, 1, 1)
+
+
+def softmax(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the channel dimension."""
+    shifted = x - x.max()
+    exps = np.exp(shifted)
+    return exps / exps.sum()
+
+
+def concat_channels(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    """Channel-wise concatenation (the inception join)."""
+    return np.concatenate(list(inputs), axis=0)
+
+
+def flatten(x: np.ndarray) -> np.ndarray:
+    """Flatten to a ``(C*H*W, 1, 1)`` tensor."""
+    return x.reshape(-1, 1, 1)

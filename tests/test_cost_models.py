@@ -1,0 +1,195 @@
+"""Tests for the analytical cost model, the wall-clock profiler and cost tables."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.cost.analytical import AnalyticalCostModel, ModelParameters
+from repro.cost.platform import PLATFORMS, Platform, arm_cortex_a57, intel_haswell
+from repro.cost.profiler import WallClockProfiler
+from repro.cost.tables import build_cost_tables
+from repro.graph.scenario import ConvScenario
+from repro.layouts.layout import CHW, CHW8c, HWC
+from repro.layouts.transforms import LayoutTransform
+
+
+@pytest.fixture(scope="module")
+def k3_scenario():
+    return ConvScenario(c=64, h=28, w=28, stride=1, k=3, m=64, padding=1)
+
+
+class TestPlatform:
+    def test_registry_contains_both_papers_platforms(self):
+        assert set(PLATFORMS) == {"intel-haswell", "arm-cortex-a57"}
+
+    def test_peak_scales_with_lanes_up_to_width(self):
+        assert intel_haswell.peak_gflops_per_core(8) == pytest.approx(
+            8 * intel_haswell.peak_gflops_per_core(1)
+        )
+        # Requests beyond the native width are clamped.
+        assert arm_cortex_a57.peak_gflops_per_core(8) == pytest.approx(
+            arm_cortex_a57.peak_gflops_per_core(4)
+        )
+
+    def test_intel_peak_exceeds_arm_peak(self):
+        assert intel_haswell.peak_gflops_per_core(8) > arm_cortex_a57.peak_gflops_per_core(4)
+
+    def test_cache_structure(self):
+        assert intel_haswell.last_level_cache_bytes() == 6144 * 1024
+        assert arm_cortex_a57.last_level_cache_bytes() == 2048 * 1024
+        assert intel_haswell.per_core_cache_bytes() == 256 * 1024
+        # The A57's L2 is shared, so its private cache is only the L1.
+        assert arm_cortex_a57.per_core_cache_bytes() == 32 * 1024
+
+
+class TestAnalyticalModel:
+    def test_costs_positive_for_all_applicable_primitives(
+        self, library, intel_cost_model, k3_scenario
+    ):
+        for primitive in library.applicable(k3_scenario):
+            cost = intel_cost_model.primitive_cost(primitive, k3_scenario)
+            assert np.isfinite(cost) and cost > 0
+
+    def test_arm_slower_than_intel(self, library, intel_cost_model, arm_cost_model, k3_scenario):
+        for name in ("sum2d", "im2col_vf4", "winograd_2d_m2_r3_vf4"):
+            primitive = library.get(name)
+            assert arm_cost_model.primitive_cost(primitive, k3_scenario) > (
+                intel_cost_model.primitive_cost(primitive, k3_scenario)
+            )
+
+    def test_multithreading_never_slows_down(self, library, intel_cost_model, k3_scenario):
+        for name in ("sum2d", "im2col_vf8", "winograd_2d_m4_r3_vf8", "fft_1d_chw_vf8"):
+            primitive = library.get(name)
+            single = intel_cost_model.primitive_cost(primitive, k3_scenario, threads=1)
+            multi = intel_cost_model.primitive_cost(primitive, k3_scenario, threads=4)
+            assert multi <= single
+
+    def test_invalid_thread_count(self, library, intel_cost_model, k3_scenario):
+        with pytest.raises(ValueError):
+            intel_cost_model.primitive_cost(library.get("sum2d"), k3_scenario, threads=0)
+
+    def test_vector_width_matters_on_intel_not_on_arm(self, library, k3_scenario):
+        """VF8 variants pay a penalty on NEON but win on AVX2 (Figure 4's VF split)."""
+        intel_model = AnalyticalCostModel(intel_haswell)
+        arm_model = AnalyticalCostModel(arm_cortex_a57)
+        vf8 = library.get("im2col_vf8")
+        vf4 = library.get("im2col_vf4")
+        assert intel_model.primitive_cost(vf8, k3_scenario) < intel_model.primitive_cost(
+            vf4, k3_scenario
+        )
+        assert arm_model.primitive_cost(vf4, k3_scenario) < arm_model.primitive_cost(
+            vf8, k3_scenario
+        )
+
+    def test_sum2d_is_much_slower_than_gemm_based(self, library, intel_cost_model, k3_scenario):
+        sum2d = intel_cost_model.primitive_cost(library.get("sum2d"), k3_scenario)
+        im2 = intel_cost_model.primitive_cost(library.get("im2col_vf8"), k3_scenario)
+        assert sum2d / im2 > 3.0
+
+    def test_winograd_beats_im2_on_k3(self, library, intel_cost_model, k3_scenario):
+        winograd = min(
+            intel_cost_model.primitive_cost(library.get(name), k3_scenario)
+            for name in ("winograd_2d_m2_r3_vf8", "winograd_2d_m4_r3_vf8")
+        )
+        im2 = intel_cost_model.primitive_cost(library.get("im2col_vf8"), k3_scenario)
+        assert winograd < im2
+
+    def test_one_d_winograd_preferred_on_arm_for_large_layers(self, library, arm_cost_model):
+        """The small-cache platform favours the low-memory 1D form (Figure 4)."""
+        scenario = ConvScenario(c=256, h=13, w=13, stride=1, k=3, m=384, padding=1)
+        one_d = arm_cost_model.primitive_cost(library.get("winograd_1d_m4_r3_vf4"), scenario)
+        two_d = arm_cost_model.primitive_cost(library.get("winograd_2d_m4_r3_vf4"), scenario)
+        assert one_d < two_d
+
+    def test_two_d_winograd_preferred_on_intel_for_same_layer(self, library, intel_cost_model):
+        scenario = ConvScenario(c=256, h=13, w=13, stride=1, k=3, m=384, padding=1)
+        one_d = intel_cost_model.primitive_cost(library.get("winograd_1d_m4_r3_vf8"), scenario)
+        two_d = intel_cost_model.primitive_cost(library.get("winograd_2d_m4_r3_vf8"), scenario)
+        assert two_d < one_d
+
+    def test_cache_pressure_parameter_slows_large_workspaces(self, library, k3_scenario):
+        gentle = AnalyticalCostModel(intel_haswell, ModelParameters(cache_pressure=0.0))
+        harsh = AnalyticalCostModel(intel_haswell, ModelParameters(cache_pressure=2.0))
+        primitive = library.get("im2col_vf8")
+        assert harsh.primitive_cost(primitive, k3_scenario) > gentle.primitive_cost(
+            primitive, k3_scenario
+        )
+
+    def test_transform_cost_scales_with_tensor_size(self, intel_cost_model):
+        transform = LayoutTransform(source=CHW, target=HWC)
+        small = intel_cost_model.transform_cost(transform, (16, 14, 14))
+        large = intel_cost_model.transform_cost(transform, (256, 56, 56))
+        assert large > small > 0
+
+    def test_transform_cost_cheaper_on_intel(self, intel_cost_model, arm_cost_model):
+        transform = LayoutTransform(source=CHW, target=CHW8c)
+        shape = (128, 28, 28)
+        assert intel_cost_model.transform_cost(transform, shape) < arm_cost_model.transform_cost(
+            transform, shape
+        )
+
+    def test_transform_threads_help_a_little(self, intel_cost_model):
+        transform = LayoutTransform(source=CHW, target=HWC)
+        shape = (256, 28, 28)
+        assert intel_cost_model.transform_cost(transform, shape, threads=4) < (
+            intel_cost_model.transform_cost(transform, shape, threads=1)
+        )
+
+
+class TestWallClockProfiler:
+    def test_measures_positive_times_and_caches(self, library):
+        profiler = WallClockProfiler(repetitions=1, warmup=0)
+        scenario = ConvScenario(c=2, h=8, w=8, stride=1, k=3, m=2, padding=1)
+        primitive = library.get("im2col_vf1")
+        first = profiler.primitive_cost(primitive, scenario)
+        second = profiler.primitive_cost(primitive, scenario)
+        assert first > 0
+        assert first == second  # cached
+
+    def test_transform_measurement(self):
+        profiler = WallClockProfiler(repetitions=1, warmup=0)
+        transform = LayoutTransform(source=CHW, target=HWC)
+        assert profiler.transform_cost(transform, (4, 8, 8)) > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WallClockProfiler(repetitions=0)
+        with pytest.raises(ValueError):
+            WallClockProfiler(warmup=-1)
+
+
+class TestCostTables:
+    def test_tables_for_tiny_network(self, tiny_network, library, dt_graph, intel_cost_model):
+        tables = build_cost_tables(tiny_network, library, dt_graph, intel_cost_model, threads=1)
+        assert set(tables.layers()) == {l.name for l in tiny_network.conv_layers()}
+        # Every conv layer has at least the sum2d fallback plus GEMM variants.
+        for layer, costs in tables.node_costs.items():
+            assert "sum2d" in costs
+            assert len(costs) > 10
+            assert all(np.isfinite(c) and c > 0 for c in costs.values())
+        assert tables.table_entries() > 0
+
+    def test_identity_conversion_is_free(self, tiny_network, library, dt_graph, intel_cost_model):
+        tables = build_cost_tables(tiny_network, library, dt_graph, intel_cost_model)
+        shape = next(iter(tables.dt_costs))
+        assert tables.conversion_cost(shape, CHW, CHW) == 0.0
+
+    def test_cheapest_primitive(self, tiny_network, library, dt_graph, intel_cost_model):
+        tables = build_cost_tables(tiny_network, library, dt_graph, intel_cost_model)
+        name, cost = tables.cheapest_primitive("conv1")
+        assert cost == min(tables.node_costs["conv1"].values())
+        assert tables.primitive_cost("conv1", name) == cost
+
+    def test_multithreaded_tables_not_slower(
+        self, tiny_network, library, dt_graph, intel_cost_model
+    ):
+        single = build_cost_tables(tiny_network, library, dt_graph, intel_cost_model, threads=1)
+        multi = build_cost_tables(tiny_network, library, dt_graph, intel_cost_model, threads=4)
+        for layer in single.layers():
+            for name, cost in single.node_costs[layer].items():
+                assert multi.node_costs[layer][name] <= cost + 1e-12
+
+    def test_invalid_threads(self, tiny_network, library, dt_graph, intel_cost_model):
+        with pytest.raises(ValueError):
+            build_cost_tables(tiny_network, library, dt_graph, intel_cost_model, threads=0)

@@ -1,0 +1,130 @@
+"""Tests for the data-layout transformation (DT) graph."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.layouts.dt_graph import DTGraph, element_traffic_cost
+from repro.layouts.layout import CHW, CHW8c, HCW, HWC, HWC8c, WHC, STANDARD_LAYOUTS
+from repro.layouts.transforms import LayoutTransform, default_transform_library
+
+
+@pytest.fixture(scope="module")
+def standard_graph():
+    return DTGraph(STANDARD_LAYOUTS.values(), default_transform_library())
+
+
+class TestStructure:
+    def test_nodes_and_edges(self, standard_graph):
+        assert len(standard_graph.layouts) == len(STANDARD_LAYOUTS)
+        assert len(standard_graph.transforms) == len(default_transform_library())
+
+    def test_direct_transform_lookup(self, standard_graph):
+        assert standard_graph.direct_transform(CHW, HWC) is not None
+        assert standard_graph.direct_transform(CHW, WHC) is None
+
+    def test_successors(self, standard_graph):
+        names = {layout.name for layout in standard_graph.successors(CHW)}
+        assert "HWC" in names and "CHWc8" in names
+        assert "WHC" not in names
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError):
+            DTGraph(
+                [CHW, HWC],
+                [LayoutTransform(CHW, HWC), LayoutTransform(CHW, HWC, efficiency=0.5)],
+            )
+
+    def test_layouts_from_transforms_added_automatically(self):
+        graph = DTGraph([], [LayoutTransform(CHW, HWC)])
+        assert {l.name for l in graph.layouts} == {"CHW", "HWC"}
+
+
+class TestReachability:
+    def test_transitive_closure_includes_self(self, standard_graph):
+        closure = standard_graph.transitive_closure()
+        for name in standard_graph.layout_names:
+            assert (name, name) in closure
+
+    def test_all_standard_layouts_mutually_reachable(self, standard_graph):
+        closure = standard_graph.transitive_closure()
+        names = standard_graph.layout_names
+        assert all((a, b) in closure for a in names for b in names)
+
+    def test_unreachable_pair_detected(self):
+        # One-way edge only: HWC cannot reach CHW.
+        graph = DTGraph([CHW, HWC], [LayoutTransform(CHW, HWC)])
+        assert graph.is_reachable(CHW, HWC)
+        assert not graph.is_reachable(HWC, CHW)
+
+
+class TestShortestPaths:
+    def test_identity_path_is_free(self, standard_graph):
+        paths = standard_graph.all_pairs_shortest_paths((8, 8, 8))
+        path = paths[("CHW", "CHW")]
+        assert path.cost == 0
+        assert path.hops == 0
+        assert path.reachable
+
+    def test_direct_pair_uses_single_hop(self, standard_graph):
+        path = standard_graph.shortest_path(CHW, HWC, (16, 10, 10))
+        assert path.hops == 1
+        assert path.chain.transforms[0].source == CHW
+
+    def test_multi_hop_chain_for_indirect_pair(self, standard_graph):
+        path = standard_graph.shortest_path(CHW8c, HWC8c, (64, 14, 14))
+        assert path.hops >= 3
+        assert path.chain.source == CHW8c
+        assert path.chain.target == HWC8c
+
+    def test_whc_needs_two_hops_from_chw(self, standard_graph):
+        path = standard_graph.shortest_path(CHW, WHC, (8, 9, 10))
+        assert path.hops == 2
+
+    def test_unreachable_pair_has_infinite_cost(self):
+        graph = DTGraph([CHW, HWC], [LayoutTransform(CHW, HWC)])
+        paths = graph.all_pairs_shortest_paths((4, 4, 4))
+        assert math.isinf(paths[("HWC", "CHW")].cost)
+        assert paths[("HWC", "CHW")].chain is None
+
+    def test_shortest_path_cost_matches_chain_traffic(self, standard_graph):
+        shape = (32, 12, 12)
+        paths = standard_graph.all_pairs_shortest_paths(shape)
+        for path in paths.values():
+            if path.reachable and path.hops:
+                assert path.cost == pytest.approx(path.chain.element_traffic(*shape))
+
+    def test_negative_cost_rejected(self, standard_graph):
+        with pytest.raises(ValueError):
+            standard_graph.all_pairs_shortest_paths((4, 4, 4), cost_fn=lambda t, s: -1.0)
+
+    def test_custom_cost_function(self, standard_graph):
+        unit = standard_graph.all_pairs_shortest_paths((4, 4, 4), cost_fn=lambda t, s: 1.0)
+        # With unit edge costs, cost equals hop count.
+        for path in unit.values():
+            if path.reachable:
+                assert path.cost == pytest.approx(path.hops)
+
+    def test_shortest_never_worse_than_direct(self, standard_graph):
+        """The all-pairs answer is never worse than any direct edge."""
+        shape = (16, 8, 8)
+        paths = standard_graph.all_pairs_shortest_paths(shape)
+        for transform in standard_graph.transforms:
+            key = (transform.source.name, transform.target.name)
+            assert paths[key].cost <= element_traffic_cost(transform, shape) + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        a=st.sampled_from(sorted(STANDARD_LAYOUTS)),
+        b=st.sampled_from(sorted(STANDARD_LAYOUTS)),
+        c=st.sampled_from(sorted(STANDARD_LAYOUTS)),
+    )
+    def test_triangle_inequality(self, standard_graph, a, b, c):
+        """Shortest-path costs satisfy the triangle inequality."""
+        shape = (16, 10, 10)
+        paths = standard_graph.all_pairs_shortest_paths(shape)
+        direct = paths[(a, c)].cost
+        via = paths[(a, b)].cost + paths[(b, c)].cost
+        assert direct <= via + 1e-6

@@ -1,0 +1,145 @@
+"""Tests of the model zoo against published layer geometries."""
+
+import pytest
+
+from repro.graph.layer import ConvLayer
+from repro.models import MODEL_BUILDERS, build_alexnet, build_googlenet, build_model, build_vgg
+from repro.models.googlenet import INCEPTION_SPECS
+
+
+class TestRegistry:
+    def test_all_evaluation_models_present(self):
+        for name in ("alexnet", "vgg-b", "vgg-c", "vgg-e", "googlenet"):
+            assert name in MODEL_BUILDERS
+
+    def test_build_model_case_insensitive(self):
+        assert build_model("AlexNet").name == "alexnet"
+
+    def test_build_model_unknown(self):
+        with pytest.raises(KeyError):
+            build_model("resnet-50")
+
+    @pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+    def test_every_model_validates(self, name):
+        network = build_model(name)
+        network.validate()
+        assert network.conv_layers(), f"{name} has no convolution layers"
+
+
+class TestAlexNet:
+    def test_conv_layer_count(self):
+        assert len(build_alexnet().conv_layers()) == 5
+
+    def test_published_feature_map_shapes(self):
+        shapes = build_alexnet().infer_shapes()
+        assert shapes["conv1"] == (96, 55, 55)
+        assert shapes["pool1"] == (96, 27, 27)
+        assert shapes["conv2"] == (256, 27, 27)
+        assert shapes["pool2"] == (256, 13, 13)
+        assert shapes["conv3"] == (384, 13, 13)
+        assert shapes["conv5"] == (256, 13, 13)
+        assert shapes["pool5"] == (256, 6, 6)
+        assert shapes["fc6"] == (4096, 1, 1)
+        assert shapes["prob"] == (1000, 1, 1)
+
+    def test_conv1_scenario_is_k11_stride4(self):
+        scenarios = build_alexnet().conv_scenarios()
+        conv1 = scenarios["conv1"]
+        assert conv1.k == 11 and conv1.stride == 4 and conv1.c == 3
+
+    def test_grouped_convolutions(self):
+        scenarios = build_alexnet().conv_scenarios()
+        assert scenarios["conv2"].groups == 2
+        assert scenarios["conv4"].groups == 2
+        assert scenarios["conv5"].groups == 2
+        assert scenarios["conv3"].groups == 1
+
+    def test_total_macs_near_published(self):
+        # AlexNet convolutions are ~0.66 GMACs with grouping.
+        gmacs = build_alexnet().total_conv_macs() / 1e9
+        assert 0.5 < gmacs < 0.8
+
+
+class TestVGG:
+    @pytest.mark.parametrize(
+        "config,expected_convs",
+        [("A", 8), ("B", 10), ("C", 13), ("D", 13), ("E", 16)],
+    )
+    def test_conv_counts_per_configuration(self, config, expected_convs):
+        assert len(build_vgg(config).conv_layers()) == expected_convs
+
+    def test_unknown_configuration(self):
+        with pytest.raises(KeyError):
+            build_vgg("F")
+
+    def test_all_convs_are_3x3_or_1x1(self):
+        for config in ("A", "B", "C", "D", "E"):
+            for layer in build_vgg(config).conv_layers():
+                assert layer.kernel in (1, 3)
+
+    def test_config_c_has_1x1_layers(self):
+        kernels = [layer.kernel for layer in build_vgg("C").conv_layers()]
+        assert kernels.count(1) == 3
+        assert all(layer.kernel == 3 for layer in build_vgg("D").conv_layers())
+
+    def test_feature_map_pyramid(self):
+        shapes = build_vgg("D").infer_shapes()
+        assert shapes["conv1_1"] == (64, 224, 224)
+        assert shapes["pool1"] == (64, 112, 112)
+        assert shapes["pool5"] == (512, 7, 7)
+        assert shapes["prob"] == (1000, 1, 1)
+
+    def test_vgg16_macs_near_published(self):
+        # VGG-D (VGG-16) convolutions are ~15.3 GMACs.
+        gmacs = build_vgg("D").total_conv_macs() / 1e9
+        assert 14.0 < gmacs < 16.5
+
+    def test_vgg19_has_more_work_than_vgg16(self):
+        assert build_vgg("E").total_conv_macs() > build_vgg("D").total_conv_macs()
+
+
+class TestGoogLeNet:
+    def test_conv_layer_count(self):
+        # 3 stem convolutions + 9 inception modules x 6 convolutions each.
+        assert len(build_googlenet().conv_layers()) == 3 + 9 * 6
+
+    def test_inception_output_channels(self):
+        shapes = build_googlenet().infer_shapes()
+        expected = {
+            "inception_3a/output": 256,
+            "inception_3b/output": 480,
+            "inception_4a/output": 512,
+            "inception_4e/output": 832,
+            "inception_5b/output": 1024,
+        }
+        for name, channels in expected.items():
+            assert shapes[name][0] == channels
+
+    def test_spatial_pyramid(self):
+        shapes = build_googlenet().infer_shapes()
+        assert shapes["conv1/7x7_s2"] == (64, 112, 112)
+        assert shapes["pool2/3x3_s2"][1:] == (28, 28)
+        assert shapes["inception_4a/output"][1:] == (14, 14)
+        assert shapes["inception_5b/output"][1:] == (7, 7)
+        assert shapes["pool5/7x7_s1"] == (1024, 1, 1)
+        assert shapes["prob"] == (1000, 1, 1)
+
+    def test_concat_inputs_are_four_branches(self):
+        network = build_googlenet()
+        for spec in INCEPTION_SPECS:
+            assert len(network.inputs_of(f"{spec.name}/output")) == 4
+
+    def test_kernel_size_mix(self):
+        kernels = {layer.kernel for layer in build_googlenet().conv_layers()}
+        assert kernels == {1, 3, 5, 7}
+
+    def test_total_macs_near_published(self):
+        # GoogLeNet is ~1.5-1.6 GMACs.
+        gmacs = build_googlenet().total_conv_macs() / 1e9
+        assert 1.3 < gmacs < 1.8
+
+    def test_dag_has_multi_consumer_nodes(self):
+        """The inception input fans out to four branches (the paper's Figure 3)."""
+        network = build_googlenet()
+        fanouts = [len(network.consumers_of(name)) for name in network.layer_names()]
+        assert max(fanouts) >= 4

@@ -1,0 +1,236 @@
+"""Tests for the PBQP reductions, solver and brute-force oracle."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pbqp.bruteforce import brute_force_solve
+from repro.pbqp.graph import PBQPGraph
+from repro.pbqp.reductions import apply_r0, apply_r1, apply_r2, apply_rn
+from repro.pbqp.solution import PBQPSolution
+from repro.pbqp.solver import PBQPSolver
+
+
+def random_graph(rng, num_nodes, edge_probability=0.5, max_alternatives=4):
+    """Build a random PBQP instance."""
+    graph = PBQPGraph()
+    ids = []
+    for index in range(num_nodes):
+        size = int(rng.integers(1, max_alternatives + 1))
+        ids.append(graph.add_node(rng.uniform(0, 10, size=size), name=f"n{index}"))
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if rng.random() < edge_probability:
+                rows = graph.node(ids[i]).degree_of_freedom
+                cols = graph.node(ids[j]).degree_of_freedom
+                graph.add_edge(ids[i], ids[j], rng.uniform(0, 10, size=(rows, cols)))
+    return graph
+
+
+class TestReductions:
+    def test_r0_picks_minimum(self):
+        graph = PBQPGraph()
+        node = graph.add_node([5.0, 2.0, 7.0])
+        record = apply_r0(graph, node)
+        assert graph.num_nodes == 0
+        assert record.back_propagate({}) == 1
+
+    def test_r0_requires_isolated_node(self):
+        graph = PBQPGraph()
+        a = graph.add_node([1.0])
+        b = graph.add_node([1.0])
+        graph.add_edge(a, b, [[0.0]])
+        with pytest.raises(ValueError):
+            apply_r0(graph, a)
+
+    def test_r1_folds_costs_into_neighbor(self):
+        graph = PBQPGraph()
+        leaf = graph.add_node([1.0, 4.0])
+        hub = graph.add_node([0.0, 0.0])
+        graph.add_edge(leaf, hub, [[0.0, 10.0], [10.0, 0.0]])
+        record = apply_r1(graph, leaf)
+        # For hub alternative 0 the best leaf choice is 0 (1 + 0); for hub
+        # alternative 1 it is 1 (4 + 0).
+        np.testing.assert_allclose(graph.node(hub).costs, [1.0, 4.0])
+        assert record.back_propagate({hub: 0}) == 0
+        assert record.back_propagate({hub: 1}) == 1
+
+    def test_r2_creates_edge_between_neighbors(self):
+        graph = PBQPGraph()
+        middle = graph.add_node([0.0, 5.0])
+        left = graph.add_node([0.0, 0.0])
+        right = graph.add_node([0.0, 0.0])
+        graph.add_edge(middle, left, [[0.0, 3.0], [1.0, 0.0]])
+        graph.add_edge(middle, right, [[0.0, 2.0], [4.0, 0.0]])
+        record = apply_r2(graph, middle)
+        assert graph.has_edge(left, right)
+        delta = graph.edge_matrix(left, right)
+        # delta[jl, jr] = min_i(c[i] + Ml[i, jl] + Mr[i, jr])
+        expected = np.array([[0.0, 2.0], [3.0, 5.0]])
+        np.testing.assert_allclose(delta, expected)
+        assert record.back_propagate({left: 0, right: 0}) == 0
+
+    def test_rn_commits_and_folds(self):
+        graph = PBQPGraph()
+        center = graph.add_node([0.0, 100.0])
+        spokes = [graph.add_node([0.0, 0.0]) for _ in range(3)]
+        for spoke in spokes:
+            graph.add_edge(center, spoke, [[0.0, 1.0], [2.0, 3.0]])
+        record = apply_rn(graph, center)
+        assert record.chosen == 0
+        assert center not in graph.node_ids
+        for spoke in spokes:
+            np.testing.assert_allclose(graph.node(spoke).costs, [0.0, 1.0])
+
+
+class TestSolverSmallInstances:
+    def test_single_node(self):
+        graph = PBQPGraph()
+        graph.add_node([3.0, 1.0, 2.0])
+        solution = PBQPSolver().solve(graph)
+        assert solution.cost == pytest.approx(1.0)
+        assert solution.optimal
+
+    def test_figure2_node_only(self):
+        graph = PBQPGraph()
+        graph.add_node([8.0, 6.0, 10.0], labels=["A", "B", "C"])
+        graph.add_node([17.0, 19.0, 14.0], labels=["A", "B", "C"])
+        graph.add_node([20.0, 17.0, 22.0], labels=["A", "B", "C"])
+        solution = PBQPSolver().solve(graph)
+        assert solution.cost == pytest.approx(37.0)
+        assert [graph.node(n).label_of(solution.assignment[n]) for n in graph.node_ids] == [
+            "B",
+            "C",
+            "B",
+        ]
+
+    def test_edge_costs_change_optimum(self):
+        """A cheap node choice can be overridden by expensive edge costs."""
+        graph = PBQPGraph()
+        a = graph.add_node([0.0, 1.0])
+        b = graph.add_node([0.0, 1.0])
+        graph.add_edge(a, b, [[10.0, 10.0], [10.0, 0.0]])
+        solution = PBQPSolver().solve(graph)
+        assert solution.assignment[a] == 1 and solution.assignment[b] == 1
+        assert solution.cost == pytest.approx(2.0)
+
+    def test_infinite_edges_avoided_when_possible(self):
+        graph = PBQPGraph()
+        a = graph.add_node([0.0, 5.0])
+        b = graph.add_node([0.0, 5.0])
+        graph.add_edge(a, b, [[math.inf, 0.0], [0.0, math.inf]])
+        solution = PBQPSolver().solve(graph)
+        assert math.isfinite(solution.cost)
+        assert solution.cost == pytest.approx(5.0)
+
+    def test_solution_verify(self):
+        graph = PBQPGraph()
+        a = graph.add_node([1.0, 2.0])
+        b = graph.add_node([3.0, 4.0])
+        graph.add_edge(a, b, [[0.0, 1.0], [1.0, 0.0]])
+        solution = PBQPSolver().solve(graph)
+        assert solution.verify(graph)
+        wrong = PBQPSolution(assignment=dict(solution.assignment), cost=solution.cost + 5)
+        assert not wrong.verify(graph)
+
+    def test_named_selection(self):
+        graph = PBQPGraph()
+        graph.add_node([1.0, 0.0], name="layer", labels=["slow", "fast"])
+        solution = PBQPSolver().solve(graph)
+        assert solution.named_selection(graph) == {"layer": "fast"}
+
+    def test_stats_populated(self):
+        solver = PBQPSolver()
+        graph = random_graph(np.random.default_rng(0), 8, edge_probability=0.4)
+        solver.solve(graph)
+        stats = solver.last_stats
+        assert stats is not None
+        assert stats.total_reductions() >= 1
+        assert stats.solve_seconds >= 0.0
+
+    def test_input_graph_not_mutated(self):
+        graph = random_graph(np.random.default_rng(3), 6)
+        nodes_before = graph.num_nodes
+        edges_before = graph.num_edges
+        PBQPSolver().solve(graph)
+        assert graph.num_nodes == nodes_before
+        assert graph.num_edges == edges_before
+
+    def test_invalid_core_limit(self):
+        with pytest.raises(ValueError):
+            PBQPSolver(exact_core_limit=0)
+
+
+class TestSolverAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_sparse_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = random_graph(rng, num_nodes=int(rng.integers(2, 8)), edge_probability=0.45)
+        solution = PBQPSolver().solve(graph)
+        oracle = brute_force_solve(graph)
+        assert solution.cost == pytest.approx(oracle.cost, rel=1e-9)
+        assert solution.verify(graph)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_dense_instances_need_rn_or_bnb(self, seed):
+        """Dense graphs have irreducible cores, exercising the exact core search."""
+        rng = np.random.default_rng(100 + seed)
+        graph = random_graph(rng, num_nodes=6, edge_probability=0.9, max_alternatives=3)
+        solution = PBQPSolver().solve(graph)
+        oracle = brute_force_solve(graph)
+        assert solution.optimal
+        assert solution.cost == pytest.approx(oracle.cost, rel=1e-9)
+
+    def test_heuristic_fallback_still_feasible(self):
+        """With the exact core disabled, the RN heuristic still returns a valid solution."""
+        rng = np.random.default_rng(7)
+        graph = random_graph(rng, num_nodes=7, edge_probability=0.9, max_alternatives=3)
+        heuristic = PBQPSolver(exact_core_limit=1).solve(graph)
+        oracle = brute_force_solve(graph)
+        assert heuristic.cost >= oracle.cost - 1e-9
+        assert heuristic.verify(graph)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_solver_matches_oracle_property(self, seed):
+        rng = np.random.default_rng(seed)
+        graph = random_graph(rng, num_nodes=int(rng.integers(1, 6)), edge_probability=0.5)
+        solution = PBQPSolver().solve(graph)
+        oracle = brute_force_solve(graph)
+        assert solution.cost == pytest.approx(oracle.cost, rel=1e-9)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_chain_graphs_fully_reduce(self, seed):
+        """Linear chains (like VGG) are solved exactly by R1/R2 alone."""
+        rng = np.random.default_rng(seed)
+        graph = PBQPGraph()
+        previous = None
+        for index in range(int(rng.integers(2, 10))):
+            node = graph.add_node(rng.uniform(0, 5, size=3))
+            if previous is not None:
+                graph.add_edge(previous, node, rng.uniform(0, 5, size=(3, 3)))
+            previous = node
+        solver = PBQPSolver()
+        solution = solver.solve(graph)
+        oracle = brute_force_solve(graph)
+        assert solution.cost == pytest.approx(oracle.cost, rel=1e-9)
+        assert solver.last_stats.core_nodes == 0
+        assert solver.last_stats.rn_count == 0
+
+
+class TestBruteForce:
+    def test_limit_enforced(self):
+        graph = PBQPGraph()
+        for _ in range(12):
+            graph.add_node([1.0] * 8)
+        with pytest.raises(ValueError):
+            brute_force_solve(graph, limit=1000)
+
+    def test_single_node(self):
+        graph = PBQPGraph()
+        graph.add_node([4.0, 2.0])
+        assert brute_force_solve(graph).cost == pytest.approx(2.0)

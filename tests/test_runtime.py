@@ -1,0 +1,185 @@
+"""Tests for the reference operators, the weight store and the executor."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import local_optimal_plan, sum2d_plan
+from repro.core.selector import PBQPSelector, SelectionContext
+from repro.runtime import NetworkExecutor, WeightStore
+from repro.runtime import reference_ops as ops
+from repro.runtime.codegen import generate_schedule, render_schedule
+
+
+class TestReferenceOps:
+    def test_relu(self):
+        x = np.array([[[-1.0, 2.0], [0.0, -3.0]]])
+        np.testing.assert_allclose(ops.relu(x), [[[0.0, 2.0], [0.0, 0.0]]])
+
+    def test_max_pool_basic(self):
+        x = np.arange(16.0).reshape(1, 4, 4)
+        pooled = ops.max_pool(x, kernel=2, stride=2, padding=0, output_shape=(1, 2, 2))
+        np.testing.assert_allclose(pooled, [[[5.0, 7.0], [13.0, 15.0]]])
+
+    def test_max_pool_overlapping_windows(self):
+        x = np.arange(25.0).reshape(1, 5, 5)
+        pooled = ops.max_pool(x, kernel=3, stride=2, padding=0, output_shape=(1, 2, 2))
+        np.testing.assert_allclose(pooled, [[[12.0, 14.0], [22.0, 24.0]]])
+
+    def test_average_pool(self):
+        x = np.ones((2, 4, 4))
+        pooled = ops.average_pool(x, kernel=2, stride=2, padding=0, output_shape=(2, 2, 2))
+        np.testing.assert_allclose(pooled, np.ones((2, 2, 2)))
+
+    def test_lrn_preserves_shape_and_reduces_magnitude(self):
+        x = np.full((8, 3, 3), 2.0)
+        normalized = ops.local_response_norm(x, local_size=5, alpha=1.0, beta=0.75)
+        assert normalized.shape == x.shape
+        assert np.all(np.abs(normalized) < np.abs(x))
+
+    def test_lrn_near_identity_for_tiny_alpha(self):
+        x = np.random.default_rng(0).standard_normal((4, 5, 5))
+        normalized = ops.local_response_norm(x, alpha=1e-12)
+        np.testing.assert_allclose(normalized, x, rtol=1e-6)
+
+    def test_fully_connected(self):
+        x = np.arange(4.0).reshape(1, 2, 2)
+        weights = np.array([[1.0, 0.0, 0.0, 0.0], [1.0, 1.0, 1.0, 1.0]])
+        bias = np.array([0.5, -1.0])
+        out = ops.fully_connected(x, weights, bias)
+        assert out.shape == (2, 1, 1)
+        np.testing.assert_allclose(out.reshape(-1), [0.5, 5.0])
+
+    def test_fully_connected_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ops.fully_connected(np.ones((2, 2, 2)), np.ones((3, 9)), np.zeros(3))
+
+    def test_softmax_normalizes(self):
+        x = np.array([1.0, 2.0, 3.0]).reshape(3, 1, 1)
+        result = ops.softmax(x)
+        assert result.sum() == pytest.approx(1.0)
+        assert result.argmax() == 2
+
+    def test_softmax_stable_for_large_inputs(self):
+        x = np.array([1000.0, 1001.0]).reshape(2, 1, 1)
+        result = ops.softmax(x)
+        assert np.isfinite(result).all()
+
+    def test_concat_and_flatten(self):
+        a, b = np.ones((2, 3, 3)), np.zeros((4, 3, 3))
+        merged = ops.concat_channels([a, b])
+        assert merged.shape == (6, 3, 3)
+        assert ops.flatten(merged).shape == (54, 1, 1)
+
+
+class TestWeightStore:
+    def test_deterministic_across_instances(self, tiny_network):
+        first = WeightStore(tiny_network, seed=3)
+        second = WeightStore(tiny_network, seed=3)
+        np.testing.assert_array_equal(first.conv_weights("conv1"), second.conv_weights("conv1"))
+        w1, b1 = first.fc_weights("fc")
+        w2, b2 = second.fc_weights("fc")
+        np.testing.assert_array_equal(w1, w2)
+        np.testing.assert_array_equal(b1, b2)
+
+    def test_different_seeds_differ(self, tiny_network):
+        a = WeightStore(tiny_network, seed=1).conv_weights("conv1")
+        b = WeightStore(tiny_network, seed=2).conv_weights("conv1")
+        assert not np.array_equal(a, b)
+
+    def test_shapes_match_scenarios(self, tiny_network):
+        store = WeightStore(tiny_network)
+        scenarios = tiny_network.conv_scenarios()
+        for name, scenario in scenarios.items():
+            assert store.conv_weights(name).shape == scenario.kernel_shape
+
+    def test_type_errors(self, tiny_network):
+        store = WeightStore(tiny_network)
+        with pytest.raises(TypeError):
+            store.conv_weights("relu1")
+        with pytest.raises(TypeError):
+            store.fc_weights("conv1")
+
+
+class TestExecutor:
+    @pytest.fixture(scope="class")
+    def context(self, tiny_network_session, library, dt_graph, intel):
+        return SelectionContext.create(
+            tiny_network_session, platform=intel, library=library, dt_graph=dt_graph
+        )
+
+    def test_pbqp_plan_computes_same_function_as_sum2d(self, context):
+        network = context.network
+        weights = WeightStore(network, seed=11)
+        x = np.random.default_rng(4).standard_normal((3, 32, 32)).astype(np.float32)
+        reference = NetworkExecutor(network, sum2d_plan(context), context.library, weights).run(x)
+        pbqp = NetworkExecutor(
+            network, PBQPSelector().select(context), context.library, weights
+        ).run(x)
+        np.testing.assert_allclose(pbqp, reference, rtol=1e-3, atol=1e-4)
+
+    def test_local_optimal_plan_matches_too(self, context):
+        network = context.network
+        weights = WeightStore(network, seed=11)
+        x = np.random.default_rng(5).standard_normal((3, 32, 32)).astype(np.float32)
+        reference = NetworkExecutor(network, sum2d_plan(context), context.library, weights).run(x)
+        local = NetworkExecutor(
+            network, local_optimal_plan(context), context.library, weights
+        ).run(x)
+        np.testing.assert_allclose(local, reference, rtol=1e-3, atol=1e-4)
+
+    def test_output_is_probability_distribution(self, context):
+        network = context.network
+        executor = NetworkExecutor(network, sum2d_plan(context), context.library)
+        x = np.random.default_rng(6).standard_normal((3, 32, 32)).astype(np.float32)
+        out = executor.run(x)
+        assert out.shape == (10, 1, 1)
+        assert out.sum() == pytest.approx(1.0, abs=1e-5)
+        assert (out >= 0).all()
+
+    def test_trace_reports_layers_and_conversions(self, context):
+        network = context.network
+        plan = PBQPSelector().select(context)
+        executor = NetworkExecutor(network, plan, context.library)
+        x = np.random.default_rng(7).standard_normal((3, 32, 32)).astype(np.float32)
+        _, trace = executor.run_traced(x, keep_outputs=True)
+        assert trace.layer_order == [l.name for l in network.topological_order()]
+        assert trace.conversions_executed == len(plan.conversions()) >= 0
+        assert set(trace.outputs) == set(network.layer_names())
+        assert trace.wall_seconds > 0
+
+    def test_wrong_input_shape_rejected(self, context):
+        executor = NetworkExecutor(context.network, sum2d_plan(context), context.library)
+        with pytest.raises(ValueError):
+            executor.run(np.zeros((3, 16, 16), dtype=np.float32))
+
+    def test_plan_network_mismatch_rejected(self, context, library, intel):
+        other = __import__("repro.models", fromlist=["build_model"]).build_model("alexnet")
+        plan = sum2d_plan(context)
+        with pytest.raises(ValueError):
+            NetworkExecutor(other, plan, library)
+
+
+class TestCodegen:
+    @pytest.fixture(scope="class")
+    def context(self, tiny_network_session, library, dt_graph, intel):
+        return SelectionContext.create(
+            tiny_network_session, platform=intel, library=library, dt_graph=dt_graph
+        )
+
+    def test_schedule_contains_every_layer(self, context):
+        plan = PBQPSelector().select(context)
+        schedule = generate_schedule(context.network, plan)
+        layers_emitted = {step.layer for step in schedule}
+        assert layers_emitted == set(context.network.layer_names())
+
+    def test_conversion_steps_match_plan(self, context):
+        plan = PBQPSelector().select(context)
+        schedule = generate_schedule(context.network, plan)
+        converts = [step for step in schedule if step.kind == "convert"]
+        assert len(converts) == len(plan.conversions())
+
+    def test_render_is_readable(self, context):
+        plan = sum2d_plan(context)
+        text = render_schedule(context.network, plan)
+        assert "// schedule for" in text
+        assert "sum2d" in text

@@ -1,0 +1,116 @@
+"""Tests for convolutional scenarios."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.scenario import ConvScenario
+
+
+class TestValidation:
+    def test_basic_construction(self):
+        s = ConvScenario(c=3, h=227, w=227, stride=4, k=11, m=96)
+        assert s.input_shape == (3, 227, 227)
+        assert s.kernel_shape == (96, 3, 11, 11)
+
+    @pytest.mark.parametrize("field", ["c", "h", "w", "stride", "k", "m", "groups"])
+    def test_nonpositive_fields_rejected(self, field):
+        kwargs = dict(c=3, h=8, w=8, stride=1, k=3, m=4, padding=0, groups=1)
+        kwargs[field] = 0
+        with pytest.raises(ValueError):
+            ConvScenario(**kwargs)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValueError):
+            ConvScenario(c=3, h=8, w=8, k=3, m=4, padding=-1)
+
+    def test_groups_must_divide_channels(self):
+        with pytest.raises(ValueError):
+            ConvScenario(c=3, h=8, w=8, k=3, m=4, groups=2)
+        with pytest.raises(ValueError):
+            ConvScenario(c=4, h=8, w=8, k=3, m=3, groups=2)
+
+    def test_kernel_must_fit_in_padded_input(self):
+        with pytest.raises(ValueError):
+            ConvScenario(c=3, h=2, w=2, k=5, m=4, padding=0)
+        # With enough padding the same kernel fits.
+        ConvScenario(c=3, h=2, w=2, k=5, m=4, padding=2)
+
+
+class TestGeometry:
+    def test_alexnet_conv1_geometry(self):
+        s = ConvScenario(c=3, h=227, w=227, stride=4, k=11, m=96)
+        assert s.output_shape == (96, 55, 55)
+
+    def test_same_padding_preserves_size(self):
+        s = ConvScenario(c=16, h=14, w=14, stride=1, k=3, m=32, padding=1)
+        assert s.out_h == 14 and s.out_w == 14
+
+    def test_pointwise_and_strided_flags(self):
+        assert ConvScenario(c=4, h=8, w=8, k=1, m=4).is_pointwise
+        assert not ConvScenario(c=4, h=8, w=8, k=3, m=4, padding=1).is_pointwise
+        assert ConvScenario(c=4, h=8, w=8, k=3, m=4, padding=1, stride=2).is_strided
+
+    def test_macs_matches_textbook_formula(self):
+        s = ConvScenario(c=8, h=10, w=12, stride=1, k=3, m=16, padding=1)
+        assert s.macs() == 10 * 12 * 8 * 9 * 16
+        assert s.flops() == 2 * s.macs()
+
+    def test_grouped_macs_divide_channels(self):
+        full = ConvScenario(c=8, h=10, w=10, k=3, m=16, padding=1)
+        grouped = ConvScenario(c=8, h=10, w=10, k=3, m=16, padding=1, groups=2)
+        assert grouped.macs() == full.macs() // 2
+
+    def test_element_counts(self):
+        s = ConvScenario(c=2, h=4, w=4, k=3, m=3, padding=1)
+        assert s.input_elements() == 2 * 4 * 4
+        assert s.output_elements() == 3 * 4 * 4
+        assert s.kernel_elements() == 3 * 2 * 9
+
+    def test_with_batch_scales_work(self):
+        s = ConvScenario(c=4, h=8, w=8, k=3, m=8, padding=1)
+        batched = s.with_batch(4)
+        assert batched.macs() == pytest.approx(4 * s.macs(), rel=0.1)
+        with pytest.raises(ValueError):
+            s.with_batch(0)
+
+    def test_describe_mentions_all_fields(self):
+        s = ConvScenario(c=4, h=8, w=9, stride=2, k=3, m=8, padding=1, groups=2)
+        text = s.describe()
+        for token in ("C=4", "H=8", "W=9", "stride=2", "K=3", "M=8", "pad=1", "groups=2"):
+            assert token in text
+
+    def test_frozen(self):
+        s = ConvScenario(c=4, h=8, w=8, k=3, m=8, padding=1)
+        with pytest.raises(AttributeError):
+            s.c = 5  # type: ignore[misc]
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        c=st.integers(1, 64),
+        size=st.integers(4, 48),
+        stride=st.integers(1, 4),
+        k=st.sampled_from([1, 3, 5, 7]),
+        m=st.integers(1, 64),
+        padding=st.integers(0, 3),
+    )
+    def test_output_dimensions_always_positive(self, c, size, stride, k, m, padding):
+        if k > size + 2 * padding:
+            with pytest.raises(ValueError):
+                ConvScenario(c=c, h=size, w=size, stride=stride, k=k, m=m, padding=padding)
+            return
+        s = ConvScenario(c=c, h=size, w=size, stride=stride, k=k, m=m, padding=padding)
+        assert s.out_h >= 1 and s.out_w >= 1
+        assert s.macs() > 0
+        # The output never exceeds the padded input extent.
+        assert s.out_h <= size + 2 * padding
+        assert (s.out_h - 1) * stride + k <= size + 2 * padding
+
+    @settings(max_examples=30, deadline=None)
+    @given(stride=st.integers(1, 4))
+    def test_larger_stride_never_increases_work(self, stride):
+        base = ConvScenario(c=8, h=32, w=32, stride=stride, k=3, m=8, padding=1)
+        faster = ConvScenario(c=8, h=32, w=32, stride=stride + 1, k=3, m=8, padding=1)
+        assert faster.macs() <= base.macs()

@@ -1,0 +1,271 @@
+"""Tests for the PBQP selector, the baselines and the framework emulations."""
+
+import math
+
+import pytest
+
+from repro.core.baselines import (
+    family_greedy_plan,
+    greedy_ignore_dt_plan,
+    local_optimal_plan,
+    sum2d_plan,
+)
+from repro.core.frameworks import armcl_like_plan, caffe_like_plan, mkldnn_like_plan
+from repro.core.legalize import finalize_plan, fixed_layouts, follow_producer_layouts
+from repro.core.selector import PBQPSelector, SelectionContext, select_primitives
+from repro.cost.analytical import AnalyticalCostModel
+from repro.graph.layer import LayerKind
+from repro.layouts.layout import CHW
+from repro.models import build_model
+from repro.primitives.base import PrimitiveFamily
+
+
+@pytest.fixture(scope="module")
+def intel_context(tiny_network_session, library, dt_graph, intel):
+    return SelectionContext.create(
+        tiny_network_session, platform=intel, library=library, dt_graph=dt_graph, threads=1
+    )
+
+
+@pytest.fixture(scope="module")
+def arm_context(tiny_network_session, library, dt_graph, arm):
+    return SelectionContext.create(
+        tiny_network_session, platform=arm, library=library, dt_graph=dt_graph, threads=1
+    )
+
+
+class TestSelectionContext:
+    def test_requires_platform_or_cost_model(self, tiny_network):
+        with pytest.raises(ValueError):
+            SelectionContext.create(tiny_network)
+
+    def test_defaults_built(self, tiny_network, intel):
+        context = SelectionContext.create(tiny_network, platform=intel)
+        assert len(context.library) > 70
+        assert context.tables.layers()
+        assert context.platform_vector_width == 8
+
+    def test_explicit_cost_model_wins(self, tiny_network, intel, arm):
+        context = SelectionContext.create(
+            tiny_network, platform=arm, cost_model=AnalyticalCostModel(intel)
+        )
+        assert context.cost_model.platform is intel
+
+    def test_single_thread_tables_cached(self, tiny_network, intel, library, dt_graph):
+        context = SelectionContext.create(
+            tiny_network, platform=intel, library=library, dt_graph=dt_graph, threads=4
+        )
+        first = context.tables_single_thread
+        assert first is context.tables_single_thread
+        assert first is not context.tables
+
+
+class TestPBQPEncoding:
+    def test_one_node_per_layer_one_edge_per_dataflow_edge(self, intel_context):
+        graph, id_to_layer = PBQPSelector().build_pbqp(intel_context)
+        network = intel_context.network
+        assert graph.num_nodes == len(network)
+        assert graph.num_edges == len(network.edges())
+        assert set(id_to_layer.values()) == set(network.layer_names())
+
+    def test_conv_nodes_have_primitive_alternatives(self, intel_context):
+        graph, id_to_layer = PBQPSelector().build_pbqp(intel_context)
+        layer_to_id = {v: k for k, v in id_to_layer.items()}
+        conv1 = graph.node(layer_to_id["conv1"])
+        assert conv1.degree_of_freedom == len(intel_context.tables.node_costs["conv1"])
+        assert all(cost > 0 for cost in conv1.costs)
+
+    def test_wildcard_nodes_are_zero_cost_layout_choices(self, intel_context):
+        graph, id_to_layer = PBQPSelector().build_pbqp(intel_context)
+        layer_to_id = {v: k for k, v in id_to_layer.items()}
+        relu = graph.node(layer_to_id["relu1"])
+        assert relu.degree_of_freedom == len(intel_context.dt_graph.layouts)
+        assert all(cost == 0 for cost in relu.costs)
+        data = graph.node(layer_to_id["data"])
+        assert data.degree_of_freedom == 1
+        assert data.labels == ("CHW",)
+
+    def test_edge_matrices_are_dt_costs(self, intel_context):
+        graph, id_to_layer = PBQPSelector().build_pbqp(intel_context)
+        layer_to_id = {v: k for k, v in id_to_layer.items()}
+        matrix = graph.edge_matrix(layer_to_id["data"], layer_to_id["conv1"])
+        # Row 0 is the CHW input; any primitive consuming CHW has zero cost.
+        assert matrix.min() == 0.0
+        assert matrix.max() > 0.0
+
+
+class TestPBQPSelection:
+    def test_plan_covers_every_layer_and_is_legal(self, intel_context):
+        plan = PBQPSelector().select(intel_context)
+        network = intel_context.network
+        assert set(plan.layer_decisions) == set(network.layer_names())
+        assert len(plan.edge_decisions) == len(network.edges())
+        for edge in plan.edge_decisions:
+            assert math.isfinite(edge.cost)
+            # After legalization the chain really connects the two layouts.
+            if edge.needs_conversion:
+                assert edge.chain.source == edge.source_layout
+                assert edge.chain.target == edge.target_layout
+
+    def test_metadata_reports_optimality_and_size(self, intel_context):
+        plan = PBQPSelector().select(intel_context)
+        assert plan.metadata["pbqp_optimal"] is True
+        assert plan.metadata["pbqp_nodes"] == len(intel_context.network)
+        assert plan.metadata["solver_seconds"] >= 0
+
+    def test_pbqp_beats_or_matches_every_baseline(self, intel_context):
+        """Optimality: PBQP is never worse than any other strategy under the same costs."""
+        pbqp = PBQPSelector().select(intel_context)
+        others = [
+            sum2d_plan(intel_context),
+            local_optimal_plan(intel_context),
+            greedy_ignore_dt_plan(intel_context),
+        ]
+        others.extend(
+            family_greedy_plan(intel_context, family)
+            for family in (
+                PrimitiveFamily.DIRECT,
+                PrimitiveFamily.IM2,
+                PrimitiveFamily.KN2,
+                PrimitiveFamily.WINOGRAD,
+                PrimitiveFamily.FFT,
+            )
+        )
+        for other in others:
+            assert pbqp.total_cost <= other.total_cost + 1e-12, other.strategy
+
+    def test_pbqp_cost_matches_plan_cost(self, intel_context):
+        plan = PBQPSelector().select(intel_context)
+        assert plan.total_cost == pytest.approx(plan.metadata["pbqp_cost"], rel=1e-9)
+
+    def test_select_primitives_convenience(self, tiny_network, intel):
+        plan = select_primitives(tiny_network, platform=intel)
+        assert plan.strategy == "pbqp"
+        assert plan.total_cost > 0
+
+    def test_platform_specific_vector_factor(self, intel_context, arm_context):
+        intel_plan = PBQPSelector().select(intel_context)
+        arm_plan = PBQPSelector().select(arm_context)
+        intel_names = " ".join(intel_plan.conv_selections().values())
+        arm_names = " ".join(arm_plan.conv_selections().values())
+        assert "vf8" in intel_names and "vf8" not in arm_names
+        assert "vf4" in arm_names
+
+
+class TestBaselines:
+    def test_sum2d_plan_uses_sum2d_everywhere_with_no_conversions(self, intel_context):
+        plan = sum2d_plan(intel_context)
+        assert set(plan.conv_selections().values()) == {"sum2d"}
+        assert plan.dt_cost == 0.0
+        assert not plan.conversions()
+
+    def test_local_optimal_uses_only_canonical_layouts(self, intel_context):
+        plan = local_optimal_plan(intel_context)
+        library = intel_context.library
+        for primitive_name in plan.conv_selections().values():
+            primitive = library.get(primitive_name)
+            assert primitive.input_layout == CHW and primitive.output_layout == CHW
+        assert plan.dt_cost == 0.0
+
+    def test_local_optimal_not_slower_than_sum2d(self, intel_context):
+        assert local_optimal_plan(intel_context).total_cost <= sum2d_plan(intel_context).total_cost
+
+    def test_family_greedy_only_uses_family_or_sum2d(self, intel_context):
+        plan = family_greedy_plan(intel_context, PrimitiveFamily.WINOGRAD)
+        library = intel_context.library
+        for name in plan.conv_selections().values():
+            primitive = library.get(name)
+            assert primitive.family in (PrimitiveFamily.WINOGRAD, PrimitiveFamily.SUM2D)
+
+    def test_family_greedy_keeps_sum2d_where_family_unsupported(self, intel_context):
+        plan = family_greedy_plan(intel_context, PrimitiveFamily.KN2)
+        # conv1 is strided, which the kn2 family cannot implement.
+        assert plan.conv_selections()["conv1"] == "sum2d"
+
+    def test_greedy_ignore_dt_picks_per_layer_minimum(self, intel_context):
+        plan = greedy_ignore_dt_plan(intel_context)
+        tables = intel_context.tables
+        for layer, primitive in plan.conv_selections().items():
+            assert primitive == tables.cheapest_primitive(layer)[0]
+
+    def test_greedy_conv_cost_lower_but_total_not_better_than_pbqp(self, intel_context):
+        greedy = greedy_ignore_dt_plan(intel_context)
+        pbqp = PBQPSelector().select(intel_context)
+        assert greedy.conv_cost <= pbqp.conv_cost + 1e-12
+        assert pbqp.total_cost <= greedy.total_cost + 1e-12
+
+
+class TestLegalization:
+    def test_missing_conv_choice_rejected(self, intel_context):
+        with pytest.raises(ValueError):
+            finalize_plan(intel_context, "broken", {}, fixed_layouts(intel_context, CHW))
+
+    def test_missing_wildcard_layout_rejected(self, intel_context):
+        conv_primitives = {l.name: "sum2d" for l in intel_context.network.conv_layers()}
+        with pytest.raises(ValueError):
+            finalize_plan(intel_context, "broken", conv_primitives, {})
+
+    def test_follow_producer_assigns_all_wildcards(self, intel_context):
+        conv_primitives = {l.name: "im2row_vf8" for l in intel_context.network.conv_layers()}
+        layouts = follow_producer_layouts(intel_context, conv_primitives)
+        wildcard_layers = [
+            layer.name
+            for layer in intel_context.network.topological_order()
+            if not layer.is_convolution
+        ]
+        assert set(layouts) == set(wildcard_layers)
+        # The relu after an HWC-producing conv operates in HWC.
+        assert layouts["relu1"].name == "HWC"
+
+    def test_plan_summary_and_repr(self, intel_context):
+        plan = sum2d_plan(intel_context)
+        text = plan.summary()
+        assert "sum2d" in text and intel_context.network.name in text
+        assert "NetworkPlan" in repr(plan)
+
+    def test_speedup_over(self, intel_context):
+        base = sum2d_plan(intel_context)
+        pbqp = PBQPSelector().select(intel_context)
+        assert pbqp.speedup_over(base) > 1.0
+        assert base.speedup_over(base) == pytest.approx(1.0)
+
+
+class TestFrameworkEmulations:
+    def test_caffe_plan_uses_im2col_in_canonical_layout(self, intel_context):
+        plan = caffe_like_plan(intel_context)
+        assert plan.strategy == "caffe"
+        for name in plan.conv_selections().values():
+            assert name.startswith("im2col")
+        assert plan.dt_cost == 0.0
+
+    def test_caffe_slower_than_local_optimal(self, intel_context):
+        assert caffe_like_plan(intel_context).total_cost > local_optimal_plan(
+            intel_context
+        ).total_cost
+
+    def test_mkldnn_never_beats_pbqp(self, intel_context):
+        pbqp = PBQPSelector().select(intel_context)
+        mkldnn = mkldnn_like_plan(intel_context)
+        assert pbqp.total_cost <= mkldnn.total_cost
+
+    def test_armcl_plan_on_arm_context(self, arm_context):
+        plan = armcl_like_plan(arm_context)
+        assert plan.strategy == "armcl"
+        assert plan.total_cost > 0
+
+    def test_framework_mt_scaling_is_poorer_than_pbqp(
+        self, tiny_network_session, library, dt_graph, intel
+    ):
+        single = SelectionContext.create(
+            tiny_network_session, platform=intel, library=library, dt_graph=dt_graph, threads=1
+        )
+        multi = SelectionContext.create(
+            tiny_network_session, platform=intel, library=library, dt_graph=dt_graph, threads=4
+        )
+        pbqp_scaling = (
+            PBQPSelector().select(single).total_cost / PBQPSelector().select(multi).total_cost
+        )
+        mkldnn_scaling = (
+            mkldnn_like_plan(single).total_cost / mkldnn_like_plan(multi).total_cost
+        )
+        assert pbqp_scaling > mkldnn_scaling

@@ -1,0 +1,129 @@
+"""Tests for direct layout transformations and transform chains."""
+
+import numpy as np
+import pytest
+
+from repro.layouts.layout import CHW, CHW8c, HCW, HWC, WHC
+from repro.layouts.tensor import LayoutTensor
+from repro.layouts.transforms import (
+    LayoutTransform,
+    TransformChain,
+    default_transform_library,
+    identity_chain,
+    transforms_by_pair,
+)
+
+
+class TestLayoutTransform:
+    def test_apply_converts_layout(self, rng):
+        transform = LayoutTransform(source=CHW, target=HWC)
+        x = rng.standard_normal((4, 5, 6)).astype(np.float32)
+        result = transform.apply(LayoutTensor.from_chw(x, CHW))
+        assert result.layout == HWC
+        np.testing.assert_allclose(result.to_chw(), x)
+
+    def test_apply_rejects_wrong_source_layout(self, rng):
+        transform = LayoutTransform(source=CHW, target=HWC)
+        tensor = LayoutTensor.from_chw(rng.standard_normal((2, 3, 4)).astype(np.float32), HWC)
+        with pytest.raises(ValueError):
+            transform.apply(tensor)
+
+    def test_element_traffic_counts_reads_and_writes(self):
+        transform = LayoutTransform(source=CHW, target=HWC, efficiency=1.0)
+        assert transform.element_traffic(2, 3, 4) == pytest.approx(2 * 2 * 3 * 4)
+
+    def test_element_traffic_counts_block_padding(self):
+        transform = LayoutTransform(source=CHW, target=CHW8c, efficiency=1.0)
+        # 3 channels pad to 8 in the blocked target.
+        assert transform.element_traffic(3, 2, 2) == pytest.approx(3 * 4 + 8 * 4)
+
+    def test_efficiency_scales_traffic(self):
+        fast = LayoutTransform(source=CHW, target=HWC, efficiency=2.0)
+        slow = LayoutTransform(source=CHW, target=HWC, efficiency=0.5)
+        assert fast.element_traffic(4, 4, 4) < slow.element_traffic(4, 4, 4)
+
+    def test_name(self):
+        assert LayoutTransform(source=CHW, target=HWC).name == "CHW->HWC"
+
+
+class TestTransformChain:
+    def test_chain_applies_in_order(self, rng):
+        chain = TransformChain(
+            transforms=(
+                LayoutTransform(source=CHW, target=HWC),
+                LayoutTransform(source=HWC, target=WHC),
+            )
+        )
+        x = rng.standard_normal((3, 4, 5)).astype(np.float32)
+        result = chain.apply(LayoutTensor.from_chw(x, CHW))
+        assert result.layout == WHC
+        np.testing.assert_allclose(result.to_chw(), x)
+        assert chain.source == CHW
+        assert chain.target == WHC
+        assert len(chain) == 2
+        assert chain.name == "CHW->HWC->WHC"
+
+    def test_disconnected_chain_rejected(self):
+        with pytest.raises(ValueError):
+            TransformChain(
+                transforms=(
+                    LayoutTransform(source=CHW, target=HWC),
+                    LayoutTransform(source=CHW, target=HCW),
+                )
+            )
+
+    def test_chain_traffic_is_sum_of_hops(self):
+        first = LayoutTransform(source=CHW, target=HWC)
+        second = LayoutTransform(source=HWC, target=WHC)
+        chain = TransformChain(transforms=(first, second))
+        assert chain.element_traffic(2, 3, 4) == pytest.approx(
+            first.element_traffic(2, 3, 4) + second.element_traffic(2, 3, 4)
+        )
+
+    def test_identity_chain(self, rng):
+        chain = identity_chain()
+        assert len(chain) == 0
+        x = rng.standard_normal((2, 2, 2)).astype(np.float32)
+        tensor = LayoutTensor.from_chw(x, HCW)
+        assert chain.apply(tensor) is tensor
+        assert chain.element_traffic(2, 2, 2) == 0
+
+
+class TestDefaultLibrary:
+    def test_every_transform_is_between_standard_layouts(self):
+        from repro.layouts.layout import STANDARD_LAYOUTS
+
+        for transform in default_transform_library():
+            assert transform.source.name in STANDARD_LAYOUTS
+            assert transform.target.name in STANDARD_LAYOUTS
+
+    def test_library_is_deliberately_incomplete(self):
+        """Not every ordered pair has a direct routine (chains are required)."""
+        pairs = {(t.source.name, t.target.name) for t in default_transform_library()}
+        assert ("CHWc8", "HWCc8") not in pairs
+        assert ("CHW", "WHC") not in pairs
+
+    def test_blocking_transforms_present_both_ways(self):
+        pairs = {(t.source.name, t.target.name) for t in default_transform_library()}
+        assert ("CHW", "CHWc8") in pairs
+        assert ("CHWc8", "CHW") in pairs
+
+    def test_transforms_by_pair_index(self):
+        index = transforms_by_pair(default_transform_library())
+        assert index[("CHW", "HWC")].target == HWC
+
+    def test_transforms_by_pair_rejects_duplicates(self):
+        duplicate = [
+            LayoutTransform(source=CHW, target=HWC),
+            LayoutTransform(source=CHW, target=HWC, efficiency=0.5),
+        ]
+        with pytest.raises(ValueError):
+            transforms_by_pair(duplicate)
+
+    def test_all_default_transforms_execute_correctly(self, rng):
+        x = rng.standard_normal((5, 6, 7)).astype(np.float32)
+        for transform in default_transform_library():
+            tensor = LayoutTensor.from_chw(x, transform.source)
+            result = transform.apply(tensor)
+            assert result.layout == transform.target
+            np.testing.assert_allclose(result.to_chw(), x)
