@@ -13,17 +13,21 @@ The package is organised by subsystem:
 * :mod:`repro.runtime` — functional execution of selected network plans;
 * :mod:`repro.experiments` — harnesses regenerating every figure and table.
 
-Quickstart
-----------
->>> from repro import build_model
->>> from repro.core import select_primitives
->>> from repro.cost import PLATFORMS
->>> network = build_model("alexnet")
->>> plan = select_primitives(network, platform=PLATFORMS["intel-haswell"])
->>> plan.total_cost  # doctest: +SKIP
+Quickstart (see README.md for the full walkthrough)
+---------------------------------------------------
+>>> from repro import Engine
+>>> engine = Engine()
+>>> result = engine.select("alexnet", "intel-haswell")  # doctest: +SKIP
+>>> rows = engine.compare("alexnet", "intel-haswell")   # doctest: +SKIP
+
+The engine resolves strategies through the registry in
+:mod:`repro.core.strategies` and memoizes profiled cost tables, so repeated
+selections on the same (network, platform, threads) key skip re-profiling.
+The original one-shot entry point :func:`repro.core.select_primitives` remains
+available.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.graph import ConvScenario, Network
 from repro.models import build_model
@@ -37,11 +41,28 @@ __all__ = [
     "Layout",
     "LayoutTensor",
     "DTGraph",
+    "Engine",
+    "SelectionRequest",
+    "SelectionResult",
+    "STRATEGIES",
+    "Strategy",
+    "register_strategy",
+    "select_primitives",
+    "PLATFORMS",
+    "default_primitive_library",
 ]
 
 
 def __getattr__(name):
     """Lazily expose the higher-level API to avoid import cycles at package load."""
+    if name in ("Engine", "SelectionRequest", "SelectionResult"):
+        import repro.api
+
+        return getattr(repro.api, name)
+    if name in ("STRATEGIES", "Strategy", "register_strategy", "get_strategy"):
+        import repro.core.strategies
+
+        return getattr(repro.core.strategies, name)
     if name == "select_primitives":
         from repro.core import select_primitives
 

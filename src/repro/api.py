@@ -1,0 +1,323 @@
+"""High-level selection API: the :class:`Engine` facade.
+
+The paper's workflow is "profile once, select many": the cost tables for one
+(network, platform, thread-count) are profiled ahead of time and then drive
+any number of selection queries.  :class:`Engine` packages that workflow
+behind two calls:
+
+>>> from repro.api import Engine
+>>> engine = Engine()
+>>> result = engine.select("alexnet", "intel-haswell")          # doctest: +SKIP
+>>> rows = engine.compare("alexnet", "intel-haswell", threads=4)  # doctest: +SKIP
+
+The engine memoizes the profiled :class:`~repro.core.selector.SelectionContext`
+(and therefore the cost tables) keyed by ``(network fingerprint, platform,
+threads)``, so repeated selections — a second strategy, a re-run, a whole
+``compare`` sweep — skip re-profiling entirely.  Strategies are resolved
+through the :data:`~repro.core.strategies.STRATEGIES` registry, so a newly
+registered strategy is immediately selectable by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.plan import NetworkPlan
+from repro.core.selector import SelectionContext
+from repro.core.strategies import (
+    BASELINE_STRATEGY,
+    Strategy,
+    applicable_strategies,
+    get_strategy,
+)
+from repro.cost.platform import PLATFORMS, Platform
+from repro.cost.serialize import plan_from_dict, plan_to_dict
+from repro.graph.network import Network
+from repro.layouts.dt_graph import DTGraph
+from repro.layouts.transforms import default_transform_library
+from repro.models import build_model
+from repro.primitives.registry import PrimitiveLibrary, default_primitive_library
+
+#: Serialization format identifier for selection results.
+RESULT_FORMAT = "repro/selection-result/v1"
+
+ModelLike = Union[str, Network]
+PlatformLike = Union[str, Platform]
+
+
+def network_fingerprint(network: Network) -> str:
+    """A stable structural fingerprint of a network.
+
+    Two networks with the same layers (names, kinds and parameters) and the
+    same data-flow edges share a fingerprint, so structurally identical
+    builds hit the same engine cache entry regardless of object identity.
+    """
+    parts: List[str] = [network.name]
+    for layer in network.topological_order():
+        fields = dataclasses.asdict(layer)
+        described = ",".join(f"{key}={fields[key]!r}" for key in sorted(fields))
+        inputs = ",".join(network.inputs_of(layer.name))
+        parts.append(f"{type(layer).__name__}({described})<-[{inputs}]")
+    digest = hashlib.sha256("|".join(parts).encode()).hexdigest()
+    return f"{network.name}:{digest[:16]}"
+
+
+@dataclass(frozen=True)
+class SelectionRequest:
+    """One (model, platform, strategy, threads) combination for :meth:`Engine.select_many`."""
+
+    model: ModelLike
+    platform: PlatformLike
+    strategy: str = "pbqp"
+    threads: int = 1
+
+
+@dataclass
+class SelectionResult:
+    """The outcome of one engine selection: the plan plus its provenance."""
+
+    model: str
+    platform: str
+    threads: int
+    strategy: str
+    plan: NetworkPlan
+    #: Whether the profiled context (cost tables) was reused from the cache.
+    from_cache: bool = False
+
+    @property
+    def total_ms(self) -> float:
+        """Whole-network time of the selected plan in milliseconds."""
+        return self.plan.total_ms
+
+    def speedup_over(self, baseline: "SelectionResult") -> float:
+        """Speedup of this result's plan over another result's plan."""
+        return self.plan.speedup_over(baseline.plan)
+
+    def to_dict(self) -> dict:
+        """Convert to a JSON-serializable document (plan via :mod:`repro.cost.serialize`)."""
+        return {
+            "format": RESULT_FORMAT,
+            "model": self.model,
+            "platform": self.platform,
+            "threads": self.threads,
+            "strategy": self.strategy,
+            "plan": plan_to_dict(self.plan),
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict, dt_graph: DTGraph) -> "SelectionResult":
+        """Rebuild a result from :meth:`to_dict` output (chains resolved via ``dt_graph``)."""
+        if document.get("format") != RESULT_FORMAT:
+            raise ValueError(f"unexpected selection-result format {document.get('format')!r}")
+        return cls(
+            model=document["model"],
+            platform=document["platform"],
+            threads=int(document["threads"]),
+            strategy=document["strategy"],
+            plan=plan_from_dict(document["plan"], dt_graph),
+            from_cache=False,
+        )
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Statistics of the engine's context cache."""
+
+    hits: int
+    misses: int
+    contexts: int
+
+
+@dataclass
+class _CacheState:
+    hits: int = 0
+    misses: int = 0
+
+
+class Engine:
+    """Facade over the registry: profile-once, select-many primitive selection.
+
+    The engine owns one primitive library and one DT graph (shared by every
+    selection, like the test suite's session fixtures) and memoizes profiled
+    selection contexts keyed by ``(network fingerprint, platform, threads)``.
+    Building the cost tables is by far the most expensive step of a query, so
+    a warm engine answers repeated selections orders of magnitude faster than
+    the one-shot :func:`repro.core.selector.select_primitives` path.
+    """
+
+    def __init__(
+        self,
+        library: Optional[PrimitiveLibrary] = None,
+        dt_graph: Optional[DTGraph] = None,
+    ) -> None:
+        self.library = library if library is not None else default_primitive_library()
+        self.dt_graph = (
+            dt_graph
+            if dt_graph is not None
+            else DTGraph(self.library.layouts_used(), default_transform_library())
+        )
+        self._contexts: Dict[Tuple[str, str, int], SelectionContext] = {}
+        self._networks: Dict[str, Network] = {}
+        self._stats = _CacheState()
+
+    # -- cache plumbing ---------------------------------------------------------
+
+    def _resolve_platform(self, platform: PlatformLike) -> Platform:
+        if isinstance(platform, Platform):
+            return platform
+        try:
+            return PLATFORMS[platform]
+        except KeyError:
+            raise KeyError(
+                f"unknown platform {platform!r}; available platforms: {sorted(PLATFORMS)}"
+            ) from None
+
+    def _resolve_network(self, model: ModelLike) -> Tuple[str, Network]:
+        """Resolve a model name or network into (fingerprint, network)."""
+        if isinstance(model, Network):
+            fingerprint = network_fingerprint(model)
+            self._networks.setdefault(fingerprint, model)
+            return fingerprint, self._networks[fingerprint]
+        # Zoo builders are deterministic, so the name is the fingerprint and
+        # the built graph can be shared across thread counts and platforms.
+        if model not in self._networks:
+            self._networks[model] = build_model(model)
+        return model, self._networks[model]
+
+    def _lookup(
+        self, model: ModelLike, platform: PlatformLike, threads: int
+    ) -> Tuple[str, SelectionContext, bool]:
+        """Resolve a query to (fingerprint, memoized context, was-cache-hit)."""
+        resolved = self._resolve_platform(platform)
+        fingerprint, network = self._resolve_network(model)
+        key = (fingerprint, resolved.name, threads)
+        context = self._contexts.get(key)
+        if context is None:
+            self._stats.misses += 1
+            context = SelectionContext.create(
+                network,
+                platform=resolved,
+                library=self.library,
+                dt_graph=self.dt_graph,
+                threads=threads,
+            )
+            self._contexts[key] = context
+            return fingerprint, context, False
+        self._stats.hits += 1
+        return fingerprint, context, True
+
+    def context_for(
+        self, model: ModelLike, platform: PlatformLike, threads: int = 1
+    ) -> SelectionContext:
+        """The memoized profiled context for one (model, platform, threads)."""
+        return self._lookup(model, platform, threads)[1]
+
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss counters and the number of cached contexts."""
+        return CacheInfo(
+            hits=self._stats.hits,
+            misses=self._stats.misses,
+            contexts=len(self._contexts),
+        )
+
+    def clear_cache(self) -> None:
+        """Drop every cached context and reset the statistics."""
+        self._contexts.clear()
+        self._networks.clear()
+        self._stats = _CacheState()
+
+    # -- selection API ----------------------------------------------------------
+
+    def select(
+        self,
+        model: ModelLike,
+        platform: PlatformLike,
+        strategy: str = "pbqp",
+        threads: int = 1,
+    ) -> SelectionResult:
+        """Run one strategy for one (model, platform, threads) combination.
+
+        Raises
+        ------
+        ValueError
+            If the strategy's :meth:`~repro.core.strategies.Strategy.applies_to`
+            gate rejects the context's platform (e.g. ``mkldnn`` on ARM).
+        """
+        chosen = get_strategy(strategy)
+        fingerprint, context, from_cache = self._lookup(model, platform, threads)
+        if not chosen.applies_to(context):
+            raise ValueError(
+                f"strategy {chosen.name!r} does not apply to platform "
+                f"{context.platform_name!r}"
+            )
+        return SelectionResult(
+            model=fingerprint,
+            platform=context.platform_name,
+            threads=threads,
+            strategy=chosen.name,
+            plan=chosen.build_plan(context),
+            from_cache=from_cache,
+        )
+
+    def compare(
+        self,
+        model: ModelLike,
+        platform: PlatformLike,
+        threads: int = 1,
+        strategies: Optional[Sequence[str]] = None,
+        include_frameworks: bool = True,
+    ) -> List[SelectionResult]:
+        """Run every applicable registered strategy (or a named subset).
+
+        All strategies share one profiled context, so the whole sweep pays
+        for profiling exactly once.
+        """
+        context = self.context_for(model, platform, threads)
+        if strategies is None:
+            chosen: List[Strategy] = applicable_strategies(
+                context, include_frameworks=include_frameworks
+            )
+        else:
+            chosen = [get_strategy(name) for name in strategies]
+        return [
+            self.select(model, platform, strategy=strategy.name, threads=threads)
+            for strategy in chosen
+        ]
+
+    def select_many(
+        self, requests: Iterable[Union[SelectionRequest, Tuple]]
+    ) -> List[SelectionResult]:
+        """Batch entry point over (model, platform, strategy, threads) combos.
+
+        Accepts :class:`SelectionRequest` objects or plain tuples in the same
+        field order.  Requests sharing a (model, platform, threads) key reuse
+        one profiled context via the cache.
+        """
+        results: List[SelectionResult] = []
+        for request in requests:
+            if not isinstance(request, SelectionRequest):
+                request = SelectionRequest(*request)
+            results.append(
+                self.select(
+                    request.model,
+                    request.platform,
+                    strategy=request.strategy,
+                    threads=request.threads,
+                )
+            )
+        return results
+
+    def baseline(
+        self, model: ModelLike, platform: PlatformLike
+    ) -> SelectionResult:
+        """The common speedup baseline: single-threaded SUM2D."""
+        return self.select(model, platform, strategy=BASELINE_STRATEGY, threads=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        info = self.cache_info()
+        return (
+            f"Engine(contexts={info.contexts}, hits={info.hits}, misses={info.misses})"
+        )

@@ -1,15 +1,18 @@
 """Command-line interface for the reproduction.
 
-Four subcommands cover the workflows a downstream user needs:
+Five subcommands cover the workflows a downstream user needs:
 
-* ``repro select``  — run the paper's pipeline (profile, PBQP, legalize) for a
-  zoo model on a modelled platform and print (or save) the plan;
-* ``repro compare`` — evaluate every strategy of the evaluation for one
+* ``repro select``  — run one selection strategy for a zoo model on a modelled
+  platform (default: the paper's PBQP pipeline) and print (or save) the plan;
+* ``repro compare`` — evaluate every registered strategy for one
   network/platform/thread-count and print the speedup row of the figure;
 * ``repro figures`` — regenerate the full set of whole-network figures;
-* ``repro tables``  — regenerate the absolute-time tables (Tables 2 and 3).
+* ``repro tables``  — regenerate the absolute-time tables (Tables 2 and 3);
+* ``repro list``    — list the available models, platforms and registered
+  selection strategies.
 
-Invoke as ``python -m repro <subcommand> ...``.
+Invoke as ``python -m repro <subcommand> ...`` (or ``repro <subcommand> ...``
+once the package is installed).
 """
 
 from __future__ import annotations
@@ -18,8 +21,8 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.core.baselines import sum2d_plan
-from repro.core.selector import PBQPSelector, SelectionContext
+from repro.api import Engine
+from repro.core.strategies import STRATEGIES, registered_names
 from repro.cost.platform import PLATFORMS
 from repro.cost.serialize import save_plan
 from repro.experiments.tables import format_absolute_table, run_absolute_time_table
@@ -28,7 +31,7 @@ from repro.experiments.whole_network import (
     format_speedup_table,
     run_whole_network,
 )
-from repro.models import MODEL_BUILDERS, build_model
+from repro.models import MODEL_BUILDERS
 from repro.runtime.codegen import render_schedule
 
 
@@ -55,10 +58,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    select = subparsers.add_parser("select", help="run PBQP primitive selection for a model")
+    select = subparsers.add_parser("select", help="run primitive selection for a model")
     select.add_argument("model", choices=sorted(MODEL_BUILDERS), help="model zoo network")
     _add_platform_argument(select)
     _add_threads_argument(select)
+    select.add_argument(
+        "--strategy",
+        choices=registered_names(),
+        default="pbqp",
+        help="registered selection strategy to run (default: pbqp)",
+    )
     select.add_argument("--schedule", action="store_true", help="print the generated schedule")
     select.add_argument("--output", help="write the selected plan to this JSON file")
 
@@ -78,22 +87,42 @@ def build_parser() -> argparse.ArgumentParser:
     tables = subparsers.add_parser("tables", help="regenerate the absolute-time tables (2/3)")
     _add_platform_argument(tables)
 
+    subparsers.add_parser(
+        "list", help="list available models, platforms and registered strategies"
+    )
+
     return parser
 
 
+def _solver_note(plan) -> str:
+    """Solver statistics suffix for the speedup line, robust to absent stats."""
+    if "pbqp_optimal" not in plan.metadata:
+        return ""
+    solver_seconds = plan.metadata.get("solver_seconds")
+    solver = "n/a" if solver_seconds is None else f"{solver_seconds * 1e3:.1f} ms"
+    return f"  (solver {solver}, optimal: {plan.metadata['pbqp_optimal']})"
+
+
 def _command_select(args: argparse.Namespace) -> int:
-    network = build_model(args.model)
-    platform = PLATFORMS[args.platform]
-    context = SelectionContext.create(network, platform=platform, threads=args.threads)
-    plan = PBQPSelector().select(context)
-    baseline = sum2d_plan(context)
+    engine = Engine()
+    try:
+        result = engine.select(
+            args.model, args.platform, strategy=args.strategy, threads=args.threads
+        )
+    except ValueError as exc:  # e.g. a platform-gated strategy on the wrong platform
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # The speedup denominator is the paper's common baseline: *single-threaded*
+    # SUM2D, matching the figures' methodology regardless of --threads.
+    baseline = engine.baseline(args.model, args.platform)
+    plan = result.plan
     print(plan.summary())
     print(
-        f"  speedup over SUM2D baseline: {plan.speedup_over(baseline):.2f}x  "
-        f"(solver {plan.metadata['solver_seconds'] * 1e3:.1f} ms, "
-        f"optimal: {plan.metadata['pbqp_optimal']})"
+        f"  speedup over single-threaded SUM2D baseline: "
+        f"{result.speedup_over(baseline):.2f}x{_solver_note(plan)}"
     )
     if args.schedule:
+        network = engine.context_for(args.model, args.platform, args.threads).network
         print()
         print(render_schedule(network, plan))
     if args.output:
@@ -132,6 +161,28 @@ def _command_tables(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_list(args: argparse.Namespace) -> int:
+    print("models:")
+    for name in sorted(MODEL_BUILDERS):
+        print(f"  {name}")
+    print("platforms:")
+    for name, platform in sorted(PLATFORMS.items()):
+        print(
+            f"  {name:<18} {platform.cores} cores @ {platform.frequency_ghz} GHz, "
+            f"{platform.vector_width}-wide SIMD"
+        )
+    print("strategies:")
+    for strategy in STRATEGIES.values():
+        tags = []
+        if strategy.is_framework:
+            tags.append("framework emulation")
+        if strategy.figure_order is None:
+            tags.append("not a figure bar")
+        suffix = f"  [{', '.join(tags)}]" if tags else ""
+        print(f"  {strategy.name:<18} {strategy.description}{suffix}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -140,6 +191,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _command_compare,
         "figures": _command_figures,
         "tables": _command_tables,
+        "list": _command_list,
     }
     return handlers[args.command](args)
 

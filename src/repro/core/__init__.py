@@ -26,6 +26,15 @@ from repro.core.baselines import (
     greedy_ignore_dt_plan,
 )
 from repro.core.frameworks import caffe_like_plan, mkldnn_like_plan, armcl_like_plan
+from repro.core.strategies import (
+    STRATEGIES,
+    Strategy,
+    applicable_strategies,
+    figure_strategy_names,
+    get_strategy,
+    register_strategy,
+    registered_names,
+)
 
 __all__ = [
     "LayerDecision",
@@ -34,6 +43,13 @@ __all__ = [
     "PBQPSelector",
     "SelectionContext",
     "select_primitives",
+    "STRATEGIES",
+    "Strategy",
+    "register_strategy",
+    "get_strategy",
+    "registered_names",
+    "figure_strategy_names",
+    "applicable_strategies",
     "sum2d_plan",
     "family_greedy_plan",
     "local_optimal_plan",

@@ -21,7 +21,6 @@ from repro.experiments.whole_network import (
     WholeNetworkResult,
     run_whole_network,
     format_speedup_table,
-    FIGURE_STRATEGIES,
 )
 from repro.experiments.tables import run_absolute_time_table, format_absolute_table
 from repro.experiments.selections import alexnet_selection_comparison
@@ -29,6 +28,16 @@ from repro.experiments.overhead import solver_overhead_report
 from repro.experiments.family_traits import family_traits_table
 from repro.experiments.pbqp_example import figure2_example
 from repro.experiments.ablation import dt_cost_ablation, solver_mode_ablation
+
+
+def __getattr__(name):
+    """``FIGURE_STRATEGIES`` is a live view over the strategy registry."""
+    if name == "FIGURE_STRATEGIES":
+        from repro.core.strategies import figure_strategy_names
+
+        return figure_strategy_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "WholeNetworkResult",

@@ -20,8 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.baselines import greedy_ignore_dt_plan, local_optimal_plan
 from repro.core.selector import PBQPSelector, SelectionContext
+from repro.core.strategies import get_strategy
 from repro.cost.analytical import AnalyticalCostModel
 from repro.cost.platform import PLATFORMS, Platform
 from repro.graph.scenario import ConvScenario
@@ -93,9 +93,9 @@ def dt_cost_ablation(
         context = SelectionContext.create(
             network, cost_model=cost_model, library=library, threads=threads
         )
-        pbqp = PBQPSelector().select(context)
-        greedy = greedy_ignore_dt_plan(context)
-        local = local_optimal_plan(context)
+        pbqp = get_strategy("pbqp").build_plan(context)
+        greedy = get_strategy("greedy_ignore_dt").build_plan(context)
+        local = get_strategy("local_optimal").build_plan(context)
         points.append(
             DTCostAblationPoint(
                 scale=scale,

@@ -12,15 +12,22 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.baselines import local_optimal_plan, sum2d_plan
-from repro.core.frameworks import caffe_like_plan
-from repro.core.selector import PBQPSelector, SelectionContext
+from repro.core.selector import SelectionContext
+from repro.core.strategies import get_strategy
 from repro.cost.platform import Platform
 from repro.models import build_model
 from repro.primitives.registry import PrimitiveLibrary
 
+#: Column header -> registered strategy name, in paper order.
+COLUMN_STRATEGIES: Dict[str, str] = {
+    "SUM2D": "sum2d",
+    "L.OPT": "local_optimal",
+    "PBQP": "pbqp",
+    "CAFFE": "caffe",
+}
+
 #: The columns of Tables 2 and 3, in paper order.
-TABLE_COLUMNS: List[str] = ["SUM2D", "L.OPT", "PBQP", "CAFFE"]
+TABLE_COLUMNS: List[str] = list(COLUMN_STRATEGIES)
 
 #: The networks of Tables 2 and 3 (the subset that runs on both platforms).
 TABLE_NETWORKS: List[str] = ["alexnet", "googlenet"]
@@ -56,10 +63,9 @@ def run_absolute_time_table(
                 network, platform=platform, library=library, threads=threads
             )
             row = AbsoluteTimeRow(network=model_name, threads=threads)
-            row.times_ms["SUM2D"] = sum2d_plan(context).total_ms
-            row.times_ms["L.OPT"] = local_optimal_plan(context).total_ms
-            row.times_ms["PBQP"] = PBQPSelector().select(context).total_ms
-            row.times_ms["CAFFE"] = caffe_like_plan(context).total_ms
+            for column, strategy_name in COLUMN_STRATEGIES.items():
+                plan = get_strategy(strategy_name).build_plan(context)
+                row.times_ms[column] = plan.total_ms
             rows.append(row)
     return rows
 

@@ -19,33 +19,29 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.baselines import (
-    family_greedy_plan,
-    greedy_ignore_dt_plan,
-    local_optimal_plan,
-    sum2d_plan,
-)
-from repro.core.frameworks import armcl_like_plan, caffe_like_plan, mkldnn_like_plan
 from repro.core.plan import NetworkPlan
-from repro.core.selector import PBQPSelector, SelectionContext
+from repro.core.selector import SelectionContext
+from repro.core.strategies import (
+    BASELINE_STRATEGY,
+    applicable_strategies,
+    figure_strategy_names,
+    get_strategy,
+)
 from repro.cost.platform import PLATFORMS, Platform
 from repro.models import build_model
-from repro.primitives.base import PrimitiveFamily
 from repro.primitives.registry import PrimitiveLibrary
 
-#: The bar order used by the paper's figures.
-FIGURE_STRATEGIES: List[str] = [
-    "direct",
-    "im2",
-    "kn2",
-    "winograd",
-    "fft",
-    "local_optimal",
-    "pbqp",
-    "mkldnn",
-    "armcl",
-    "caffe",
-]
+def __getattr__(name: str):
+    """``FIGURE_STRATEGIES`` is a live view over the strategy registry.
+
+    Evaluated on access (PEP 562) rather than snapshotted at import, so a
+    strategy registered later with a ``figure_order`` immediately gains a
+    figure bar.  Prefer :func:`repro.core.strategies.figure_strategy_names`
+    in new code.
+    """
+    if name == "FIGURE_STRATEGIES":
+        return figure_strategy_names()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 #: Networks per figure, exactly as in the paper (VGG-B/C/E do not fit on the
 #: embedded board, so the ARM figures cover AlexNet and GoogLeNet only).
@@ -77,7 +73,7 @@ class WholeNetworkResult:
         """Speedups of every evaluated strategy, in figure bar order."""
         return {
             name: self.speedup(name)
-            for name in FIGURE_STRATEGIES
+            for name in figure_strategy_names()
             if name in self.times_ms
         }
 
@@ -110,7 +106,7 @@ def run_whole_network(
             network, platform=platform, library=context.library, dt_graph=context.dt_graph, threads=1
         )
 
-    baseline = sum2d_plan(baseline_context)
+    baseline = get_strategy(BASELINE_STRATEGY).build_plan(baseline_context)
     result = WholeNetworkResult(
         network=model_name,
         platform=platform.name,
@@ -119,29 +115,12 @@ def run_whole_network(
     )
     result.plans["sum2d_baseline"] = baseline
 
-    def record(name: str, plan: NetworkPlan) -> None:
-        result.times_ms[name] = plan.total_ms
-        result.plans[name] = plan
-
-    for family in (
-        PrimitiveFamily.DIRECT,
-        PrimitiveFamily.IM2,
-        PrimitiveFamily.KN2,
-        PrimitiveFamily.WINOGRAD,
-        PrimitiveFamily.FFT,
-    ):
-        record(family.value, family_greedy_plan(context, family))
-
-    record("local_optimal", local_optimal_plan(context))
-    record("pbqp", PBQPSelector().select(context))
-    record("greedy_ignore_dt", greedy_ignore_dt_plan(context))
-
-    if include_frameworks:
-        record("caffe", caffe_like_plan(context))
-        if platform.vector_width >= 8:
-            record("mkldnn", mkldnn_like_plan(context))
-        else:
-            record("armcl", armcl_like_plan(context))
+    for strategy in applicable_strategies(context, include_frameworks=include_frameworks):
+        if strategy.name == BASELINE_STRATEGY:
+            continue  # the baseline bar is the single-threaded plan above
+        plan = strategy.build_plan(context)
+        result.times_ms[strategy.name] = plan.total_ms
+        result.plans[strategy.name] = plan
 
     return result
 
@@ -150,7 +129,7 @@ def format_speedup_table(results: List[WholeNetworkResult], title: str) -> str:
     """Render a list of results as the text analogue of one of the figures."""
     strategies = [
         name
-        for name in FIGURE_STRATEGIES
+        for name in figure_strategy_names()
         if any(name in result.times_ms for result in results)
     ]
     header = f"{'network':<12}" + "".join(f"{name:>15}" for name in strategies)

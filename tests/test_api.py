@@ -1,0 +1,293 @@
+"""Tests for the strategy registry and the cached-selection Engine API."""
+
+import json
+
+import pytest
+
+import repro.core.selector as selector_module
+from repro.api import (
+    Engine,
+    SelectionRequest,
+    SelectionResult,
+    network_fingerprint,
+)
+from repro.core.strategies import (
+    STRATEGIES,
+    Strategy,
+    applicable_strategies,
+    figure_strategy_names,
+    get_strategy,
+    register_strategy,
+    registered_names,
+)
+from repro.experiments.whole_network import FIGURE_STRATEGIES
+from repro.models import build_model
+
+ALL_STRATEGY_NAMES = {
+    "sum2d",
+    "direct",
+    "im2",
+    "kn2",
+    "winograd",
+    "fft",
+    "local_optimal",
+    "pbqp",
+    "greedy_ignore_dt",
+    "mkldnn",
+    "armcl",
+    "caffe",
+}
+
+
+@pytest.fixture
+def engine(library, dt_graph):
+    return Engine(library=library, dt_graph=dt_graph)
+
+
+class TestRegistry:
+    def test_all_strategies_registered(self):
+        assert set(STRATEGIES) == ALL_STRATEGY_NAMES
+        assert registered_names() == list(STRATEGIES)
+
+    def test_figure_strategies_are_a_registry_view(self):
+        assert FIGURE_STRATEGIES == figure_strategy_names()
+        assert set(FIGURE_STRATEGIES) <= set(STRATEGIES)
+        # The paper's bar order.
+        assert FIGURE_STRATEGIES == [
+            "direct",
+            "im2",
+            "kn2",
+            "winograd",
+            "fft",
+            "local_optimal",
+            "pbqp",
+            "mkldnn",
+            "armcl",
+            "caffe",
+        ]
+
+    def test_get_strategy_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown strategy"):
+            get_strategy("resnet-magic")
+
+    def test_register_rejects_duplicates_and_anonymous(self):
+        with pytest.raises(ValueError, match="duplicate strategy name"):
+
+            @register_strategy
+            class Duplicate(Strategy):
+                name = "pbqp"
+
+        with pytest.raises(ValueError, match="non-empty name"):
+
+            @register_strategy
+            class Anonymous(Strategy):
+                pass
+
+    def test_figure_strategies_view_is_live(self):
+        import repro.experiments
+        import repro.experiments.whole_network as whole_network
+
+        @register_strategy
+        class LateBar(Strategy):
+            name = "test_late_bar"
+            figure_order = 99
+
+            def build_plan(self, context):
+                return get_strategy("sum2d").build_plan(context)
+
+        try:
+            # A strategy registered after import still gains a figure bar.
+            assert whole_network.FIGURE_STRATEGIES[-1] == "test_late_bar"
+            assert repro.experiments.FIGURE_STRATEGIES[-1] == "test_late_bar"
+        finally:
+            del STRATEGIES["test_late_bar"]
+        assert "test_late_bar" not in whole_network.FIGURE_STRATEGIES
+
+    def test_custom_strategy_registers_and_unregisters(self, engine):
+        @register_strategy
+        class AlwaysSum2d(Strategy):
+            name = "test_always_sum2d"
+
+            def build_plan(self, context):
+                return get_strategy("sum2d").build_plan(context)
+
+        try:
+            result = engine.select("alexnet", "intel-haswell", strategy="test_always_sum2d")
+            assert set(result.plan.conv_selections().values()) == {"sum2d"}
+        finally:
+            del STRATEGIES["test_always_sum2d"]
+
+
+class TestAppliesToGating:
+    def test_mkldnn_only_on_wide_simd(self, engine):
+        intel = engine.context_for("alexnet", "intel-haswell")
+        arm = engine.context_for("alexnet", "arm-cortex-a57")
+        assert get_strategy("mkldnn").applies_to(intel)
+        assert not get_strategy("mkldnn").applies_to(arm)
+        assert get_strategy("armcl").applies_to(arm)
+        assert not get_strategy("armcl").applies_to(intel)
+        assert get_strategy("caffe").applies_to(intel)
+        assert get_strategy("caffe").applies_to(arm)
+
+    def test_applicable_strategies_per_platform(self, engine):
+        intel = engine.context_for("alexnet", "intel-haswell")
+        arm = engine.context_for("alexnet", "arm-cortex-a57")
+        intel_names = {s.name for s in applicable_strategies(intel)}
+        arm_names = {s.name for s in applicable_strategies(arm)}
+        assert "mkldnn" in intel_names and "armcl" not in intel_names
+        assert "armcl" in arm_names and "mkldnn" not in arm_names
+
+    def test_include_frameworks_false_drops_all_emulations(self, engine):
+        intel = engine.context_for("alexnet", "intel-haswell")
+        names = {s.name for s in applicable_strategies(intel, include_frameworks=False)}
+        assert names == ALL_STRATEGY_NAMES - {"mkldnn", "armcl", "caffe"}
+
+    def test_select_rejects_inapplicable_strategy(self, engine):
+        with pytest.raises(ValueError, match="does not apply"):
+            engine.select("alexnet", "arm-cortex-a57", strategy="mkldnn")
+
+
+class TestEngineCache:
+    def test_second_select_reuses_context(self, engine, monkeypatch):
+        builds = []
+        original = selector_module.build_cost_tables
+
+        def counting_build(*args, **kwargs):
+            builds.append(kwargs.get("threads"))
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(selector_module, "build_cost_tables", counting_build)
+
+        first = engine.select("alexnet", "intel-haswell", strategy="pbqp")
+        built_once = len(builds)
+        second = engine.select("alexnet", "intel-haswell", strategy="pbqp")
+        assert built_once == 1
+        assert len(builds) == built_once  # no re-profiling on the warm call
+        assert not first.from_cache and second.from_cache
+        info = engine.cache_info()
+        assert info.misses == 1 and info.hits == 1 and info.contexts == 1
+        assert first.plan.conv_selections() == second.plan.conv_selections()
+
+    def test_context_identity_and_key_separation(self, engine):
+        a = engine.context_for("alexnet", "intel-haswell", threads=1)
+        b = engine.context_for("alexnet", "intel-haswell", threads=1)
+        assert a is b
+        assert engine.context_for("alexnet", "intel-haswell", threads=4) is not a
+        assert engine.context_for("alexnet", "arm-cortex-a57", threads=1) is not a
+        assert engine.cache_info().contexts == 3
+
+    def test_compare_profiles_once(self, engine):
+        results = engine.compare("alexnet", "intel-haswell")
+        assert engine.cache_info().misses == 1
+        names = [r.strategy for r in results]
+        assert names == [s.name for s in applicable_strategies(
+            engine.context_for("alexnet", "intel-haswell")
+        )]
+        assert all(r.from_cache for r in results[1:])
+        by_name = {r.strategy: r for r in results}
+        pbqp, sum2d = by_name["pbqp"], by_name["sum2d"]
+        assert pbqp.speedup_over(sum2d) > 1.0
+        assert min(by_name.values(), key=lambda r: r.total_ms).strategy == "pbqp"
+
+    def test_select_many_batches_over_combos(self, engine):
+        requests = [
+            SelectionRequest("alexnet", "intel-haswell", "pbqp", 1),
+            SelectionRequest("alexnet", "intel-haswell", "local_optimal", 1),
+            ("alexnet", "arm-cortex-a57", "pbqp", 1),
+        ]
+        results = engine.select_many(requests)
+        assert [r.strategy for r in results] == ["pbqp", "local_optimal", "pbqp"]
+        assert [r.platform for r in results] == [
+            "intel-haswell",
+            "intel-haswell",
+            "arm-cortex-a57",
+        ]
+        # Two distinct (model, platform, threads) keys, one reuse.
+        info = engine.cache_info()
+        assert info.misses == 2 and info.hits == 1
+
+    def test_clear_cache(self, engine):
+        engine.select("alexnet", "intel-haswell")
+        engine.clear_cache()
+        info = engine.cache_info()
+        assert info.contexts == 0 and info.hits == 0 and info.misses == 0
+
+    def test_network_object_fingerprint_hits_cache(self, engine):
+        first = build_model("alexnet")
+        second = build_model("alexnet")
+        assert first is not second
+        assert network_fingerprint(first) == network_fingerprint(second)
+        engine.select(first, "intel-haswell")
+        result = engine.select(second, "intel-haswell")
+        assert result.from_cache
+        assert engine.cache_info().contexts == 1
+
+    def test_structurally_different_networks_do_not_collide(self, engine):
+        from repro.graph.layer import ConvLayer, InputLayer
+        from repro.graph.network import Network
+
+        def tiny(kernel):
+            net = Network("probe")
+            net.add_layer(InputLayer("data", shape=(3, 16, 16)))
+            net.add_layer(
+                ConvLayer("conv", out_channels=4, kernel=kernel, padding=kernel // 2),
+                ["data"],
+            )
+            net.validate()
+            return net
+
+        assert network_fingerprint(tiny(3)) != network_fingerprint(tiny(5))
+
+
+class TestSelectionResultSerialization:
+    def test_round_trip_via_serialize(self, engine, dt_graph):
+        result = engine.select("alexnet", "intel-haswell", strategy="pbqp")
+        document = json.loads(json.dumps(result.to_dict()))
+        assert document["format"] == "repro/selection-result/v1"
+        loaded = SelectionResult.from_dict(document, dt_graph)
+        assert loaded.model == "alexnet"
+        assert loaded.platform == "intel-haswell"
+        assert loaded.strategy == "pbqp"
+        assert loaded.plan.conv_selections() == result.plan.conv_selections()
+        assert loaded.plan.total_cost == pytest.approx(result.plan.total_cost)
+        assert loaded.total_ms == pytest.approx(result.total_ms)
+
+    def test_wrong_format_rejected(self, dt_graph):
+        with pytest.raises(ValueError, match="selection-result format"):
+            SelectionResult.from_dict({"format": "nope"}, dt_graph)
+
+
+class TestRewiredHarnesses:
+    def test_run_whole_network_covers_registry(self, library, intel):
+        from repro.experiments.whole_network import run_whole_network
+
+        result = run_whole_network("alexnet", intel, threads=1, library=library)
+        # Every applicable non-baseline registered strategy gets a bar.
+        assert set(result.times_ms) == ALL_STRATEGY_NAMES - {"sum2d", "armcl"}
+
+    def test_cli_list_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "strategies:" in out
+        for name in ALL_STRATEGY_NAMES:
+            assert name in out
+
+    def test_cli_select_with_strategy_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["select", "alexnet", "--strategy", "local_optimal"]) == 0
+        out = capsys.readouterr().out
+        # No solver stats for a non-PBQP strategy — and no crash formatting them.
+        assert "speedup over single-threaded SUM2D baseline" in out
+        assert "solver" not in out
+
+    def test_cli_select_rejects_gated_strategy(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["select", "alexnet", "--platform", "arm-cortex-a57", "--strategy", "mkldnn"]
+        )
+        assert code == 2
+        assert "does not apply" in capsys.readouterr().err

@@ -142,7 +142,7 @@ class TestCLI:
         )
         assert code == 0
         captured = capsys.readouterr().out
-        assert "speedup over SUM2D baseline" in captured
+        assert "speedup over single-threaded SUM2D baseline" in captured
         assert output.exists()
         document = json.loads(output.read_text())
         assert document["network"] == "alexnet"
