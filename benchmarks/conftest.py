@@ -3,14 +3,39 @@
 Every benchmark regenerates one table or figure of the paper (see the
 per-experiment index in DESIGN.md) and prints the reproduced rows so that
 ``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction report.
+
+Setting ``REPRO_BENCH_SMOKE=1`` runs the suite in *smoke mode*: scenario
+lists are trimmed to the tiny networks (the VGG instances dominate the
+runtime) and assertions that need the full network set are skipped.  CI uses
+this to smoke-test every benchmark on each pull request.
 """
 
 from __future__ import annotations
+
+import os
+from typing import List, Sequence, Tuple
 
 import pytest
 
 from repro.cost.platform import PLATFORMS
 from repro.primitives.registry import default_primitive_library
+
+#: Whether the suite runs with trimmed, tiny scenario sizes (CI smoke job).
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in {"", "0"}
+
+#: Mark for assertions that only hold on the full (non-smoke) scenario set.
+smoke_skip = pytest.mark.skipif(
+    SMOKE, reason="assertion needs the full scenario set (REPRO_BENCH_SMOKE is on)"
+)
+
+
+def smoke_networks(
+    names: Sequence[str], tiny: Tuple[str, ...] = ("alexnet",)
+) -> List[str]:
+    """In smoke mode, trim a benchmark's network list to the tiny scenarios."""
+    if not SMOKE:
+        return list(names)
+    return [name for name in names if name in tiny]
 
 
 @pytest.fixture(scope="session")

@@ -10,10 +10,10 @@ instance) and asserts the cache is actually doing the work.
 
 import time
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import SMOKE, emit
 from repro.api import Engine
 
-MODEL = "googlenet"
+MODEL = "alexnet" if SMOKE else "googlenet"
 
 
 def test_engine_cache_reuses_cost_tables(benchmark, library, intel):

@@ -10,14 +10,14 @@ the Winograd-only strategy approaches PBQP only on the all-K=3 VGG models.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, smoke_networks, smoke_skip
 from repro.experiments.whole_network import (
     FIGURE_NETWORKS,
     format_speedup_table,
     run_whole_network,
 )
 
-NETWORKS = FIGURE_NETWORKS["intel-haswell"]
+NETWORKS = smoke_networks(FIGURE_NETWORKS["intel-haswell"])
 
 
 @pytest.fixture(scope="module")
@@ -45,6 +45,7 @@ def test_figure5_single_threaded_intel(benchmark, library, intel, figure5_result
         assert speedups["pbqp"] > speedups["local_optimal"]
 
 
+@smoke_skip
 def test_figure5_winograd_behaviour_matches_paper(figure5_results):
     by_network = {result.network: result.speedups() for result in figure5_results}
     # Winograd-only is close to PBQP on the all-3x3 VGG-B/E models (on VGG-C

@@ -11,14 +11,14 @@ layout transformations are paid for (section 5.8).
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, smoke_networks, smoke_skip
 from repro.experiments.whole_network import (
     FIGURE_NETWORKS,
     format_speedup_table,
     run_whole_network,
 )
 
-NETWORKS = FIGURE_NETWORKS["intel-haswell"]
+NETWORKS = smoke_networks(FIGURE_NETWORKS["intel-haswell"])
 
 
 @pytest.fixture(scope="module")
@@ -43,6 +43,7 @@ def test_figure6_multithreaded_intel(benchmark, library, intel, figure6_results)
                 assert speedups["pbqp"] >= value - 1e-9, (result.network, strategy)
 
 
+@smoke_skip
 def test_figure6_pbqp_outperforms_vendor_library(figure6_results):
     by_network = {result.network: result.speedups() for result in figure6_results}
     for network, speedups in by_network.items():

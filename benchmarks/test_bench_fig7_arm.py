@@ -12,14 +12,14 @@ slower than the baseline (Table 3).
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, smoke_networks, smoke_skip
 from repro.experiments.whole_network import (
     FIGURE_NETWORKS,
     format_speedup_table,
     run_whole_network,
 )
 
-NETWORKS = FIGURE_NETWORKS["arm-cortex-a57"]
+NETWORKS = smoke_networks(FIGURE_NETWORKS["arm-cortex-a57"])
 
 
 @pytest.fixture(scope="module")
@@ -49,6 +49,7 @@ def test_figure7a_single_threaded_arm(benchmark, library, arm, figure7a_results)
         assert speedups["pbqp"] > speedups["caffe"]
 
 
+@smoke_skip
 def test_figure7a_googlenet_shows_legalization_cost(figure7a_results):
     googlenet = {r.network: r for r in figure7a_results}["googlenet"]
     speedups = googlenet.speedups()

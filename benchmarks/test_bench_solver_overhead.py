@@ -11,10 +11,11 @@ and asserts both properties.
 
 import pytest
 
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, smoke_networks
 from repro.experiments.overhead import format_overhead_report, solver_overhead_report
 
-NETWORKS = ["alexnet", "vgg-b", "vgg-c", "vgg-e", "googlenet"]
+NETWORKS = smoke_networks(["alexnet", "vgg-b", "vgg-c", "vgg-e", "googlenet"],
+                          tiny=("alexnet", "googlenet"))
 
 
 @pytest.fixture(scope="module")

@@ -1,0 +1,57 @@
+"""Warm-start benchmark: a fresh process with a populated CostStore skips profiling.
+
+Section 4 of the paper ships profiled cost tables with the model so selection
+is cheap at deployment time.  The :class:`repro.cost.store.CostStore` makes
+that persistent: the first session profiles and writes the tables to disk;
+every later *session* (standing in for a fresh process — no in-memory state
+survives) loads them instead of re-profiling.  The benchmark asserts the warm
+start performs **zero** profiling and reports the warm/cold ratio.
+"""
+
+import time
+
+import repro.cost.provider as provider_module
+from benchmarks.conftest import SMOKE, emit
+from repro.api import Session
+
+MODEL = "alexnet" if SMOKE else "googlenet"
+
+
+def test_store_warm_start_skips_profiling(benchmark, library, intel, tmp_path, monkeypatch):
+    builds = []
+    original = provider_module.build_cost_tables
+
+    def counting_build(*args, **kwargs):
+        builds.append(kwargs.get("threads"))
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(provider_module, "build_cost_tables", counting_build)
+
+    start = time.perf_counter()
+    cold_session = Session(library=library, cache_dir=tmp_path)
+    cold = cold_session.select(MODEL, intel, strategy="pbqp")
+    cold_seconds = time.perf_counter() - start
+    assert builds == [1]
+    assert cold_session.store.stats().misses == 1
+
+    def warm_start():
+        # A brand-new session: the only warm state is the on-disk store.
+        session = Session(library=library, cache_dir=tmp_path)
+        return session.select(MODEL, intel, strategy="pbqp")
+
+    warm = benchmark.pedantic(warm_start, rounds=5, iterations=1)
+
+    # Zero profiling across every warm start, and an identical selection.
+    assert builds == [1]
+    assert warm.plan.conv_selections() == cold.plan.conv_selections()
+
+    warm_seconds = benchmark.stats.stats.mean
+    emit(
+        "CostStore warm start — fresh process, zero profiling\n"
+        f"model: {MODEL}, store: {len(Session(library=library, cache_dir=tmp_path).store.entries())} entr(y/ies)\n"
+        f"cold start (profile + solve + persist): {cold_seconds * 1e3:10.2f} ms\n"
+        f"warm start (load tables + solve):       {warm_seconds * 1e3:10.2f} ms\n"
+        f"warm/cold speedup:                      {cold_seconds / warm_seconds:10.2f}x\n"
+        f"cost-table builds observed:             {len(builds)} (cold only)"
+    )
+    assert warm_seconds < cold_seconds

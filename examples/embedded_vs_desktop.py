@@ -9,45 +9,47 @@ paper describes — 8-wide 2D Winograd variants on the desktop part, 4-wide
 low-memory 1D Winograd variants on the embedded part, and an im2-family
 primitive for the strided 11x11 first layer on both.
 
+One Session serves every query, so each (network, platform, threads) triple
+is profiled exactly once across the whole script.
+
 Run:  python examples/embedded_vs_desktop.py
 """
 
-from repro.core.selector import PBQPSelector, SelectionContext
+from repro.api import Session
 from repro.cost.platform import PLATFORMS
 from repro.experiments.selections import alexnet_selection_comparison
-from repro.experiments.whole_network import format_speedup_table, run_whole_network
-from repro.models import build_model
 
 
 def main() -> None:
+    session = Session()
+
     # Per-layer selections on the two platforms (Figure 4).
-    comparison = alexnet_selection_comparison(threads=4)
+    comparison = alexnet_selection_comparison(threads=4, session=session)
     print(comparison.format())
     print()
 
     # The per-layer cost tables that explain the different choices.
     for platform_name in ("intel-haswell", "arm-cortex-a57"):
-        platform = PLATFORMS[platform_name]
-        network = build_model("alexnet")
-        context = SelectionContext.create(network, platform=platform, threads=4)
-        plan = PBQPSelector().select(context)
+        plan = session.plan("alexnet", platform_name, threads=4)
+        context = session.context_for("alexnet", platform_name, 4)
         print(f"--- {platform_name} ---")
-        for layer, primitive in plan.conv_selections().items():
+        for layer, primitive in plan.network_plan.conv_selections().items():
             scenario = context.tables.scenarios[layer]
             cost_ms = 1e3 * context.tables.primitive_cost(layer, primitive)
             print(f"  {layer:<8} [{scenario.describe():<45}] -> {primitive:<26} {cost_ms:8.3f} ms")
-        print(f"  layout conversions inserted: {len(plan.conversions())}, "
-              f"costing {1e3 * plan.dt_cost:.3f} ms")
+        print(f"  layout conversions inserted: {len(plan.network_plan.conversions())}, "
+              f"costing {1e3 * plan.network_plan.dt_cost:.3f} ms")
         print()
 
-    # Whole-network comparison on both platforms (Figures 6 and 7b).
-    results = [
-        run_whole_network("alexnet", PLATFORMS["intel-haswell"], threads=4),
-        run_whole_network("alexnet", PLATFORMS["arm-cortex-a57"], threads=4),
-    ]
-    for result in results:
-        print(f"{result.platform}: PBQP {result.speedup('pbqp'):.1f}x over single-threaded SUM2D, "
-              f"best strategy = {result.best_strategy()}")
+    # Whole-network comparison on both platforms, ranked by total cost.
+    for platform_name in ("intel-haswell", "arm-cortex-a57"):
+        report = session.compare("alexnet", platform_name, threads=4)
+        pbqp = next(r for r in report.results if r.strategy == "pbqp")
+        print(f"{platform_name}: PBQP {report.speedup(pbqp):.1f}x over single-threaded "
+              f"SUM2D, best strategy = {report.best.strategy}")
+    info = session.cache_info()
+    print(f"(session cache: {info.contexts} profiled contexts, "
+          f"{info.hits} hits, {info.misses} misses)")
 
 
 if __name__ == "__main__":

@@ -4,31 +4,31 @@
 Figure 3 of the paper motivates the PBQP formulation with the inception
 module: one producer feeds four parallel branches whose outputs are
 concatenated, so a layout decision at the module input constrains (or taxes)
-every branch.  This example optimizes the full GoogLeNet graph, shows the
-selections inside one inception module, and demonstrates the failure mode of
-greedy selection: picking each layer's fastest primitive in isolation incurs
-layout-conversion costs that the PBQP solution avoids.
+every branch.  This example optimizes the full GoogLeNet graph through the
+Session API, shows the selections inside one inception module, and
+demonstrates the failure mode of greedy selection: picking each layer's
+fastest primitive in isolation incurs layout-conversion costs that the PBQP
+solution avoids.
 
 Run:  python examples/inception_dag.py
 """
 
-from repro.core.baselines import greedy_ignore_dt_plan, local_optimal_plan, sum2d_plan
-from repro.core.selector import PBQPSelector, SelectionContext
-from repro.cost.platform import PLATFORMS
-from repro.models import build_model
+from repro.api import Session
 
 
 def main() -> None:
-    network = build_model("googlenet")
-    platform = PLATFORMS["intel-haswell"]
-    context = SelectionContext.create(network, platform=platform, threads=1)
+    session = Session()
+    platform = "intel-haswell"
 
-    pbqp = PBQPSelector().select(context)
-    greedy = greedy_ignore_dt_plan(context)
-    local = local_optimal_plan(context)
-    baseline = sum2d_plan(context)
+    # All four strategies share one profiled context inside the session.
+    pbqp = session.select("googlenet", platform, strategy="pbqp").plan
+    greedy = session.select("googlenet", platform, strategy="greedy_ignore_dt").plan
+    local = session.select("googlenet", platform, strategy="local_optimal").plan
+    baseline = session.select("googlenet", platform, strategy="sum2d").plan
+    assert session.cache_info().misses == 1  # profiled exactly once
 
-    print(f"GoogLeNet on {platform.name}: {len(network.conv_layers())} convolution layers, "
+    network = session.context_for("googlenet", platform).network
+    print(f"GoogLeNet on {platform}: {len(network.conv_layers())} convolution layers, "
           f"{len(network.edges())} data-flow edges")
     print()
     print(f"{'strategy':<28}{'conv ms':>12}{'transform ms':>14}{'total ms':>12}{'speedup':>10}")

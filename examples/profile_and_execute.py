@@ -2,24 +2,29 @@
 """Profile real primitives on this machine and execute the selected network.
 
 The other examples drive selection with the analytical platform model.  This
-one uses the paper's original methodology end to end on the host machine:
+one uses the paper's original methodology end to end on the host machine,
+through the Session API's pluggable cost providers:
 
 1. a small CNN is defined with the graph-building API;
-2. the numpy-backed primitives are *actually timed* on tensors of each
-   layer's size (the wall-clock profiler — the paper's layerwise profiling);
+2. a :class:`repro.ProfiledCostProvider` *actually times* the numpy-backed
+   primitives on tensors of each layer's size (the wall-clock profiler — the
+   paper's layerwise profiling) — and because the session wraps it in a
+   persistent :class:`repro.CostStore`, a second run of this script skips the
+   slow profiling entirely;
 3. the PBQP selector consumes those measured costs;
 4. the resulting plan is executed on a real input and its output is verified
    against the all-SUM2D reference execution, demonstrating that the selected
    primitives and inserted layout conversions compute the same function.
 
-Run:  python examples/profile_and_execute.py
+Run:  python examples/profile_and_execute.py   (twice, to see the warm start)
 """
+
+import time
 
 import numpy as np
 
-from repro.core.baselines import sum2d_plan
-from repro.core.selector import PBQPSelector, SelectionContext
-from repro.cost.profiler import WallClockProfiler
+from repro.api import Session
+from repro.cost.provider import ProfiledCostProvider
 from repro.graph.layer import (
     ConcatLayer,
     ConvLayer,
@@ -31,7 +36,6 @@ from repro.graph.layer import (
     SoftmaxLayer,
 )
 from repro.graph.network import Network
-from repro.runtime import NetworkExecutor, WeightStore
 
 
 def build_mini_inception() -> Network:
@@ -61,33 +65,45 @@ def main() -> None:
     print(network.summary())
     print()
 
-    # Layerwise profiling on the host machine (measured, not modelled).
-    profiler = WallClockProfiler(repetitions=3, warmup=1)
+    # Layerwise profiling on the host machine (measured, not modelled), with
+    # the measured tables persisted on disk for the next run of this script.
+    session = Session(
+        provider=ProfiledCostProvider(repetitions=3, warmup=1),
+        cache_dir="repro-cache-profiled",
+    )
     print("Profiling every applicable primitive for every convolution layer ...")
-    context = SelectionContext.create(network, cost_model=profiler)
-    print(f"profiled {context.tables.table_entries()} cost-table entries")
+    start = time.perf_counter()
+    plan = session.plan(network, None)  # no modelled platform: costs are measured
+    elapsed = time.perf_counter() - start
+    context = session.context_for(network, None)
+    source = "warm start (tables loaded from the cost store)" if session.store.stats().hits else "cold start (profiled on this host)"
+    print(f"{context.tables.table_entries()} cost-table entries in {elapsed:.2f} s — {source}")
     print()
 
-    plan = PBQPSelector().select(context)
-    baseline = sum2d_plan(context)
     print(plan.summary())
+    baseline = session.plan(network, None, strategy="sum2d")
     print()
     print(f"Measured SUM2D baseline: {baseline.total_ms:.2f} ms, "
           f"PBQP selection: {plan.total_ms:.2f} ms "
-          f"({plan.speedup_over(baseline):.2f}x, on this host's numpy primitives)")
+          f"({plan.network_plan.speedup_over(baseline.network_plan):.2f}x, "
+          f"on this host's numpy primitives)")
     print()
 
     # Execute both plans on the same input and weights; outputs must agree.
-    weights = WeightStore(network, seed=42)
     x = np.random.default_rng(0).standard_normal((3, 40, 40)).astype(np.float32)
-    reference_out = NetworkExecutor(network, baseline, context.library, weights).run(x)
-    selected_out, trace = NetworkExecutor(network, plan, context.library, weights).run_traced(x)
-    difference = float(np.max(np.abs(reference_out - selected_out)))
+    reference = baseline.execute(input=x, seed=42)
+    selected = plan.execute(input=x, seed=42)
+    difference = float(np.max(np.abs(reference.output - selected.output)))
     print(f"Executed both instantiations on a real input: "
           f"max output difference {difference:.2e} "
-          f"({trace.conversions_executed} layout conversions executed)")
-    print(f"Predicted class: {int(selected_out.argmax())} "
-          f"(probability {float(selected_out.max()):.3f})")
+          f"({selected.conversions_executed} layout conversions executed, "
+          f"{selected.measured_conversion_ms:.2f} ms)")
+    print(f"Measured vs profiled-predicted total: {selected.measured_total_ms:.2f} ms "
+          f"vs {selected.predicted_total_ms:.2f} ms "
+          f"(ratio {selected.prediction_ratio:.2f}x — the profiler's estimates "
+          f"are close on the machine they were taken on)")
+    print(f"Predicted class: {int(selected.output.argmax())} "
+          f"(probability {float(selected.output.max()):.3f})")
 
 
 if __name__ == "__main__":

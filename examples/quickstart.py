@@ -1,61 +1,63 @@
 #!/usr/bin/env python
-"""Quickstart: select primitives for AlexNet and inspect the plan.
+"""Quickstart: plan, compare and execute AlexNet with the Session API.
 
 This walks the paper's whole pipeline in a few lines:
 
-1. build a network graph from the model zoo;
-2. profile every applicable primitive for every convolution layer and every
-   layout-conversion chain on a modelled platform (the cost tables);
-3. encode the selection problem as PBQP, solve it, and legalize the result;
-4. compare the selected plan against the SUM2D baseline and the
-   canonical-layout "Local Optimal" strategy.
+1. open a :class:`repro.Session` (optionally with a ``cache_dir`` so the
+   profiled cost tables persist across runs — try running this twice);
+2. ``session.plan(...)`` profiles every applicable primitive and every
+   layout-conversion chain on a modelled platform, encodes the selection
+   problem as PBQP, solves it, and legalizes the result;
+3. ``session.compare(...)`` ranks every registered strategy by total cost;
+4. ``plan.execute()`` runs a real forward pass with the selected primitives
+   and reports per-layer measured times against the model's predictions.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core.baselines import local_optimal_plan, sum2d_plan
-from repro.core.selector import PBQPSelector, SelectionContext
-from repro.cost.platform import PLATFORMS
-from repro.models import build_model
+from repro.api import Session
 from repro.runtime.codegen import render_schedule
 
 
 def main() -> None:
-    network = build_model("alexnet")
-    platform = PLATFORMS["intel-haswell"]
-
-    print(f"Network: {network.name} with {len(network.conv_layers())} convolution layers")
-    print(f"Platform: {platform.name} ({platform.cores} cores, {platform.vector_width}-wide FP32 SIMD)")
-    print()
-
-    # Profile once; every strategy below shares the same cost tables.
-    context = SelectionContext.create(network, platform=platform, threads=4)
-    print(f"Cost tables hold {context.tables.table_entries()} profiled numbers")
-    print()
+    # A cache_dir makes the cost tables persistent: a second run of this
+    # script performs zero profiling.
+    session = Session(cache_dir="repro-cache")
 
     # The paper's approach: PBQP selection with layout-transformation costs.
-    plan = PBQPSelector().select(context)
+    plan = session.plan("alexnet", "intel-haswell", threads=4)
+    network = session.context_for("alexnet", "intel-haswell", 4).network
+    print(f"Network: {network.name} with {len(network.conv_layers())} convolution layers")
     print(plan.summary())
-    print()
+    metadata = plan.network_plan.metadata
     print(
-        f"PBQP instance: {plan.metadata['pbqp_nodes']} nodes, "
-        f"{plan.metadata['pbqp_edges']} edges, solved in "
-        f"{plan.metadata['solver_seconds'] * 1e3:.1f} ms "
-        f"(optimal: {plan.metadata['pbqp_optimal']})"
+        f"PBQP instance: {metadata['pbqp_nodes']} nodes, "
+        f"{metadata['pbqp_edges']} edges, solved in "
+        f"{metadata['solver_seconds'] * 1e3:.1f} ms "
+        f"(optimal: {metadata['pbqp_optimal']})"
     )
     print()
 
-    # Baselines for comparison.
-    baseline = sum2d_plan(context)
-    local = local_optimal_plan(context)
-    print(f"SUM2D baseline     : {baseline.total_ms:10.2f} ms")
-    print(f"Local Optimal (CHW): {local.total_ms:10.2f} ms ({local.speedup_over(baseline):5.2f}x)")
-    print(f"PBQP selection     : {plan.total_ms:10.2f} ms ({plan.speedup_over(baseline):5.2f}x)")
+    # Every registered strategy, ranked by total cost, with speedups over the
+    # single-threaded SUM2D baseline (the whole sweep profiles exactly once).
+    comparison = session.compare("alexnet", "intel-haswell", threads=4)
+    print(comparison.format())
+    print()
+
+    # Execute the selected instantiation on a real input.
+    print("Executing one forward pass with the selected primitives ...")
+    report = plan.execute()
+    print(f"  measured {report.measured_total_ms:.1f} ms on this host "
+          f"({report.conversions_executed} layout conversions, "
+          f"{report.measured_conversion_ms:.2f} ms)")
+    print(f"  predicted class: {int(report.output.argmax())}")
     print()
 
     print("Generated schedule (first 12 steps):")
-    for line in render_schedule(network, plan).splitlines()[:13]:
+    for line in render_schedule(network, plan.network_plan).splitlines()[:13]:
         print("  " + line)
+    print()
+    print(f"Cost store: {[str(e.path.name) for e in session.store.entries()]}")
 
 
 if __name__ == "__main__":

@@ -7,7 +7,8 @@ The package is organised by subsystem:
 * :mod:`repro.models` — AlexNet, VGG and GoogLeNet builders;
 * :mod:`repro.primitives` — the library of >70 convolution primitives;
 * :mod:`repro.pbqp` — the PBQP solver;
-* :mod:`repro.cost` — platform models, analytical cost model and profiler;
+* :mod:`repro.cost` — platform models, cost providers and the persistent
+  cost-table store;
 * :mod:`repro.core` — the paper's contribution: PBQP-based primitive selection
   with data layout transformations, plus the baseline strategies;
 * :mod:`repro.runtime` — functional execution of selected network plans;
@@ -15,19 +16,22 @@ The package is organised by subsystem:
 
 Quickstart (see README.md for the full walkthrough)
 ---------------------------------------------------
->>> from repro import Engine
->>> engine = Engine()
->>> result = engine.select("alexnet", "intel-haswell")  # doctest: +SKIP
->>> rows = engine.compare("alexnet", "intel-haswell")   # doctest: +SKIP
+>>> from repro import Session
+>>> session = Session(cache_dir="repro-cache")          # doctest: +SKIP
+>>> plan = session.plan("alexnet", "intel-haswell")     # doctest: +SKIP
+>>> report = plan.execute()                             # doctest: +SKIP
+>>> comparison = session.compare("alexnet", "intel-haswell")  # doctest: +SKIP
 
-The engine resolves strategies through the registry in
-:mod:`repro.core.strategies` and memoizes profiled cost tables, so repeated
-selections on the same (network, platform, threads) key skip re-profiling.
-The original one-shot entry point :func:`repro.core.select_primitives` remains
-available.
+The session owns the full pipeline: cost tables come from a pluggable
+:class:`~repro.cost.provider.CostProvider` (analytical platform model, host
+profiler, or a persistent disk-backed :class:`~repro.cost.store.CostStore`),
+strategies resolve through the registry in :mod:`repro.core.strategies`, and
+:meth:`~repro.api.Session.run` executes the selected plan with per-layer
+timing.  The PR-1 :class:`~repro.api.Engine` facade and the original one-shot
+:func:`repro.core.select_primitives` remain available.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro.graph import ConvScenario, Network
 from repro.models import build_model
@@ -41,9 +45,18 @@ __all__ = [
     "Layout",
     "LayoutTensor",
     "DTGraph",
+    "Session",
     "Engine",
+    "Plan",
+    "ExecutionReport",
+    "ComparisonReport",
     "SelectionRequest",
     "SelectionResult",
+    "CostProvider",
+    "AnalyticalCostProvider",
+    "ProfiledCostProvider",
+    "CostModelProvider",
+    "CostStore",
     "STRATEGIES",
     "Strategy",
     "register_strategy",
@@ -52,13 +65,36 @@ __all__ = [
     "default_primitive_library",
 ]
 
+#: Names resolved lazily from repro.api (avoids import cycles at package load).
+_API_NAMES = (
+    "Session",
+    "Engine",
+    "Plan",
+    "ExecutionReport",
+    "ComparisonReport",
+    "SelectionRequest",
+    "SelectionResult",
+)
+_COST_NAMES = (
+    "CostProvider",
+    "AnalyticalCostProvider",
+    "ProfiledCostProvider",
+    "CostModelProvider",
+    "CostStore",
+    "PLATFORMS",
+)
+
 
 def __getattr__(name):
     """Lazily expose the higher-level API to avoid import cycles at package load."""
-    if name in ("Engine", "SelectionRequest", "SelectionResult"):
+    if name in _API_NAMES:
         import repro.api
 
         return getattr(repro.api, name)
+    if name in _COST_NAMES:
+        import repro.cost
+
+        return getattr(repro.cost, name)
     if name in ("STRATEGIES", "Strategy", "register_strategy", "get_strategy"):
         import repro.core.strategies
 
@@ -67,10 +103,6 @@ def __getattr__(name):
         from repro.core import select_primitives
 
         return select_primitives
-    if name == "PLATFORMS":
-        from repro.cost import PLATFORMS
-
-        return PLATFORMS
     if name == "default_primitive_library":
         from repro.primitives import default_primitive_library
 

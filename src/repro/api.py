@@ -1,29 +1,39 @@
-"""High-level selection API: the :class:`Engine` facade.
+"""High-level API: the :class:`Session` facade over the full pipeline.
 
 The paper's workflow is "profile once, select many": the cost tables for one
-(network, platform, thread-count) are profiled ahead of time and then drive
-any number of selection queries.  :class:`Engine` packages that workflow
-behind two calls:
+(network, platform, thread-count) are produced ahead of time and then drive
+any number of selection queries.  :class:`Session` owns that whole pipeline —
+cost production (through a pluggable :class:`~repro.cost.provider.CostProvider`),
+selection (through the :data:`~repro.core.strategies.STRATEGIES` registry),
+and execution (through :class:`~repro.runtime.executor.NetworkExecutor`):
 
->>> from repro.api import Engine
->>> engine = Engine()
->>> result = engine.select("alexnet", "intel-haswell")          # doctest: +SKIP
->>> rows = engine.compare("alexnet", "intel-haswell", threads=4)  # doctest: +SKIP
+>>> from repro.api import Session
+>>> session = Session(cache_dir="~/.cache/repro")                 # doctest: +SKIP
+>>> plan = session.plan("alexnet", "intel-haswell")               # doctest: +SKIP
+>>> report = plan.execute()                                       # doctest: +SKIP
+>>> report = session.run("alexnet", "intel-haswell")              # doctest: +SKIP
+>>> comparison = session.compare("alexnet", "intel-haswell")      # doctest: +SKIP
 
-The engine memoizes the profiled :class:`~repro.core.selector.SelectionContext`
-(and therefore the cost tables) keyed by ``(network fingerprint, platform,
-threads)``, so repeated selections — a second strategy, a re-run, a whole
-``compare`` sweep — skip re-profiling entirely.  Strategies are resolved
-through the :data:`~repro.core.strategies.STRATEGIES` registry, so a newly
-registered strategy is immediately selectable by name.
+The session memoizes profiled :class:`~repro.core.selector.SelectionContext`
+objects (and therefore the cost tables) keyed by ``(network fingerprint,
+platform, threads)``; with a ``cache_dir`` the tables additionally persist to
+a :class:`~repro.cost.store.CostStore`, so a *fresh process* pointed at the
+same directory performs zero profiling.
+
+:class:`Engine` is the PR-1 facade, kept as a thin shim over :class:`Session`
+(see its docstring for the exact compatibility surface).
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.plan import NetworkPlan
 from repro.core.selector import SelectionContext
@@ -34,18 +44,22 @@ from repro.core.strategies import (
     get_strategy,
 )
 from repro.cost.platform import PLATFORMS, Platform
-from repro.cost.serialize import plan_from_dict, plan_to_dict
+from repro.cost.provider import AnalyticalCostProvider, CostProvider, CostQuery
+from repro.cost.serialize import load_plan, plan_from_dict, plan_to_dict, save_plan
+from repro.cost.store import CostStore
+from repro.graph.layer import InputLayer
 from repro.graph.network import Network
 from repro.layouts.dt_graph import DTGraph
 from repro.layouts.transforms import default_transform_library
 from repro.models import build_model
 from repro.primitives.registry import PrimitiveLibrary, default_primitive_library
+from repro.runtime.executor import ExecutionTrace, NetworkExecutor
 
 #: Serialization format identifier for selection results.
 RESULT_FORMAT = "repro/selection-result/v1"
 
 ModelLike = Union[str, Network]
-PlatformLike = Union[str, Platform]
+PlatformLike = Union[str, Platform, None]
 
 
 def network_fingerprint(network: Network) -> str:
@@ -53,7 +67,7 @@ def network_fingerprint(network: Network) -> str:
 
     Two networks with the same layers (names, kinds and parameters) and the
     same data-flow edges share a fingerprint, so structurally identical
-    builds hit the same engine cache entry regardless of object identity.
+    builds hit the same session cache entry regardless of object identity.
     """
     parts: List[str] = [network.name]
     for layer in network.topological_order():
@@ -67,7 +81,7 @@ def network_fingerprint(network: Network) -> str:
 
 @dataclass(frozen=True)
 class SelectionRequest:
-    """One (model, platform, strategy, threads) combination for :meth:`Engine.select_many`."""
+    """One (model, platform, strategy, threads) combination for :meth:`Session.select_many`."""
 
     model: ModelLike
     platform: PlatformLike
@@ -77,7 +91,7 @@ class SelectionRequest:
 
 @dataclass
 class SelectionResult:
-    """The outcome of one engine selection: the plan plus its provenance."""
+    """The outcome of one session selection: the plan plus its provenance."""
 
     model: str
     platform: str
@@ -124,7 +138,7 @@ class SelectionResult:
 
 @dataclass(frozen=True)
 class CacheInfo:
-    """Statistics of the engine's context cache."""
+    """Statistics of the session's context cache."""
 
     hits: int
     misses: int
@@ -137,21 +151,319 @@ class _CacheState:
     misses: int = 0
 
 
-class Engine:
-    """Facade over the registry: profile-once, select-many primitive selection.
+# ---------------------------------------------------------------------------
+# Execution reports
+# ---------------------------------------------------------------------------
 
-    The engine owns one primitive library and one DT graph (shared by every
-    selection, like the test suite's session fixtures) and memoizes profiled
-    selection contexts keyed by ``(network fingerprint, platform, threads)``.
-    Building the cost tables is by far the most expensive step of a query, so
-    a warm engine answers repeated selections orders of magnitude faster than
-    the one-shot :func:`repro.core.selector.select_primitives` path.
+
+@dataclass
+class LayerExecution:
+    """Predicted-versus-measured timing of one layer in one forward pass."""
+
+    layer: str
+    #: Selected primitive name for convolution layers, ``None`` otherwise.
+    primitive: Optional[str]
+    #: Cost-model prediction for the layer, in ms (0 for non-conv layers).
+    predicted_ms: float
+    #: Measured compute time of the layer on this host, in ms.
+    measured_ms: float
+
+    @property
+    def delta_ms(self) -> float:
+        """Measured minus predicted time (positive: slower than predicted)."""
+        return self.measured_ms - self.predicted_ms
+
+
+@dataclass
+class ExecutionReport:
+    """What one executed forward pass did, against what the plan predicted.
+
+    The predicted numbers come from the plan's cost model (for the default
+    analytical provider they describe the *modelled* platform, not this
+    host, so their absolute scale differs from the measured numbers; the
+    per-layer *proportions* are the comparable quantity).
+    """
+
+    model: str
+    platform: str
+    threads: int
+    strategy: str
+    #: Output of the network's final layer, in canonical CHW order.
+    output: np.ndarray
+    #: Per-layer predicted/measured timings, in execution order.
+    layers: List[LayerExecution]
+    #: Number of layout-conversion chains actually executed.
+    conversions_executed: int
+    #: Number of conversion chains the plan calls for.
+    conversions_planned: int
+    #: Predicted total layout-conversion cost, in ms.
+    predicted_conversion_ms: float
+    #: Measured total layout-conversion time, in ms.
+    measured_conversion_ms: float
+    #: Wall-clock time of the whole forward pass, in ms.
+    wall_ms: float
+
+    @property
+    def predicted_total_ms(self) -> float:
+        """The plan's predicted whole-network time, in ms."""
+        return sum(entry.predicted_ms for entry in self.layers) + self.predicted_conversion_ms
+
+    @property
+    def measured_total_ms(self) -> float:
+        """Measured compute plus conversion time, in ms."""
+        return sum(entry.measured_ms for entry in self.layers) + self.measured_conversion_ms
+
+    @property
+    def prediction_ratio(self) -> float:
+        """Measured over predicted total time (host-vs-model scale factor)."""
+        predicted = self.predicted_total_ms
+        return float("inf") if predicted <= 0 else self.measured_total_ms / predicted
+
+    def layer(self, name: str) -> LayerExecution:
+        """The timing entry of one layer."""
+        for entry in self.layers:
+            if entry.layer == name:
+                return entry
+        raise KeyError(f"no layer {name!r} in this report")
+
+    def format(self) -> str:
+        """Human-readable per-layer report."""
+        plural = "s" if self.threads != 1 else ""
+        lines = [
+            f"Execution report — {self.model} [{self.strategy}] on {self.platform} "
+            f"({self.threads} thread{plural})",
+            f"  measured {self.measured_total_ms:.2f} ms on this host "
+            f"({self.conversions_executed}/{self.conversions_planned} planned layout "
+            f"conversions executed, costing {self.measured_conversion_ms:.2f} ms)",
+            f"  predicted {self.predicted_total_ms:.2f} ms on {self.platform} "
+            f"(measured/predicted ratio {self.prediction_ratio:.1f}x)",
+            f"  {'layer':<24} {'primitive':<28} {'predicted ms':>13} {'measured ms':>12}",
+        ]
+        for entry in self.layers:
+            primitive = entry.primitive if entry.primitive is not None else "-"
+            lines.append(
+                f"  {entry.layer:<24} {primitive:<28} "
+                f"{entry.predicted_ms:>13.3f} {entry.measured_ms:>12.3f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"ExecutionReport({self.model!r}, strategy={self.strategy!r}, "
+            f"measured={self.measured_total_ms:.2f} ms)"
+        )
+
+
+@dataclass
+class Plan:
+    """A selection bound to its network and library: the executable handle.
+
+    Produced by :meth:`Session.plan`; :meth:`execute` runs the selected
+    instantiation on a real input and reports per-layer measured times,
+    layout-conversion accounting and predicted-versus-measured deltas.
+    """
+
+    result: SelectionResult
+    network: Network
+    library: PrimitiveLibrary
+    dt_graph: DTGraph
+
+    # -- passthroughs -------------------------------------------------------------
+
+    @property
+    def network_plan(self) -> NetworkPlan:
+        """The underlying :class:`~repro.core.plan.NetworkPlan`."""
+        return self.result.plan
+
+    @property
+    def strategy(self) -> str:
+        return self.result.strategy
+
+    @property
+    def total_ms(self) -> float:
+        """Predicted whole-network time in milliseconds."""
+        return self.result.total_ms
+
+    def summary(self) -> str:
+        """The plan's selection table (see :meth:`NetworkPlan.summary`)."""
+        return self.network_plan.summary()
+
+    # -- execution ----------------------------------------------------------------
+
+    def input_shape(self) -> Tuple[int, int, int]:
+        """The CHW shape the network's input layer expects."""
+        for layer in self.network.topological_order():
+            if isinstance(layer, InputLayer):
+                return layer.shape
+        raise ValueError(f"network {self.network.name!r} has no input layer")
+
+    def executor(self, seed: int = 0) -> NetworkExecutor:
+        """A fresh executor for this plan (weights seeded deterministically)."""
+        return NetworkExecutor(
+            self.network, self.network_plan, self.library, seed=seed
+        )
+
+    def execute(
+        self,
+        input: Optional[np.ndarray] = None,
+        seed: int = 0,
+        keep_outputs: bool = False,
+    ) -> ExecutionReport:
+        """Run one forward pass and report measured against predicted costs.
+
+        Parameters
+        ----------
+        input:
+            CHW input tensor; a deterministic random input (from ``seed``) of
+            the right shape is generated when omitted.
+        seed:
+            Seed for the weight store and the generated input, so two plans
+            executed with the same seed compute over identical weights.
+        keep_outputs:
+            Keep every layer's output tensor on the returned trace.
+        """
+        if input is None:
+            input = (
+                np.random.default_rng(seed)
+                .standard_normal(self.input_shape())
+                .astype(np.float32)
+            )
+        output, trace = self.executor(seed=seed).run_traced(
+            input, keep_outputs=keep_outputs
+        )
+        return self._report(output, trace)
+
+    def _report(self, output: np.ndarray, trace: ExecutionTrace) -> ExecutionReport:
+        plan = self.network_plan
+        layers = [
+            LayerExecution(
+                layer=name,
+                primitive=plan.decision(name).primitive,
+                predicted_ms=1e3 * plan.decision(name).cost,
+                measured_ms=1e3 * trace.layer_seconds[name],
+            )
+            for name in trace.layer_order
+        ]
+        return ExecutionReport(
+            model=self.result.model,
+            platform=self.result.platform,
+            threads=self.result.threads,
+            strategy=self.result.strategy,
+            output=output,
+            layers=layers,
+            conversions_executed=trace.conversions_executed,
+            conversions_planned=len(plan.conversions()),
+            predicted_conversion_ms=1e3 * plan.dt_cost,
+            measured_conversion_ms=1e3 * trace.total_conversion_seconds,
+            wall_ms=1e3 * trace.wall_seconds,
+        )
+
+    # -- persistence --------------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the underlying plan as JSON (see :mod:`repro.cost.serialize`)."""
+        save_plan(self.network_plan, path)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"Plan({self.result.model!r}, strategy={self.strategy!r}, "
+            f"predicted={self.total_ms:.2f} ms)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Strategy comparisons
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ComparisonReport:
+    """Every evaluated strategy for one (model, platform, threads), ranked.
+
+    ``results`` is sorted by total predicted cost, fastest first; speedups
+    are against the paper's common baseline (single-threaded SUM2D).
+    """
+
+    model: str
+    platform: str
+    threads: int
+    baseline: SelectionResult
+    results: List[SelectionResult]
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def best(self) -> SelectionResult:
+        """The fastest strategy's result."""
+        return self.results[0]
+
+    def speedup(self, result: SelectionResult) -> float:
+        """Speedup of one result over the common baseline."""
+        return result.speedup_over(self.baseline)
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """(strategy, total ms, speedup-vs-baseline) rows, fastest first."""
+        return [(r.strategy, r.total_ms, self.speedup(r)) for r in self.results]
+
+    def format(self, title: Optional[str] = None) -> str:
+        """Render the ranked comparison table."""
+        plural = "s" if self.threads != 1 else ""
+        title = title or (
+            f"Strategy comparison — {self.model} on {self.platform}, "
+            f"{self.threads} thread{plural}"
+        )
+        header = f"{'strategy':<20}{'total ms':>12}{'speedup':>10}"
+        lines = [title, header, "-" * len(header)]
+        for strategy, total_ms, speedup in self.rows():
+            lines.append(f"{strategy:<20}{total_ms:>12.2f}{speedup:>9.2f}x")
+        lines.append(
+            "(sorted by total cost; speedup over the single-threaded "
+            f"{self.baseline.strategy} baseline)"
+        )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# The session
+# ---------------------------------------------------------------------------
+
+
+class Session:
+    """Facade over the full pipeline: costs -> selection -> execution.
+
+    The session owns one primitive library and one DT graph (shared by every
+    query), resolves strategies through the registry, and produces cost
+    tables through a pluggable :class:`~repro.cost.provider.CostProvider`.
+    Profiled contexts are memoized in-process keyed by ``(network
+    fingerprint, platform, threads)``; passing ``cache_dir`` wraps the
+    provider in a persistent :class:`~repro.cost.store.CostStore`, so warm
+    selections also survive process restarts.
+
+    Parameters
+    ----------
+    library:
+        The primitive library (default: the full >80-variant library).
+    dt_graph:
+        The layout-transformation graph (default: built from the library).
+    provider:
+        Where cost tables come from (default:
+        :class:`~repro.cost.provider.AnalyticalCostProvider`).
+    cache_dir:
+        If given, persist produced cost tables in this directory (the
+        provider is wrapped in a :class:`~repro.cost.store.CostStore` unless
+        it already is one).
     """
 
     def __init__(
         self,
         library: Optional[PrimitiveLibrary] = None,
         dt_graph: Optional[DTGraph] = None,
+        provider: Optional[CostProvider] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.library = library if library is not None else default_primitive_library()
         self.dt_graph = (
@@ -159,21 +471,41 @@ class Engine:
             if dt_graph is not None
             else DTGraph(self.library.layouts_used(), default_transform_library())
         )
+        resolved = provider if provider is not None else AnalyticalCostProvider()
+        if cache_dir is not None and not isinstance(resolved, CostStore):
+            resolved = CostStore(cache_dir, resolved)
+        self.provider: CostProvider = resolved
         self._contexts: Dict[Tuple[str, str, int], SelectionContext] = {}
         self._networks: Dict[str, Network] = {}
         self._stats = _CacheState()
 
     # -- cache plumbing ---------------------------------------------------------
 
-    def _resolve_platform(self, platform: PlatformLike) -> Platform:
+    @property
+    def store(self) -> Optional[CostStore]:
+        """The persistent cost store, if this session has one."""
+        return self.provider if isinstance(self.provider, CostStore) else None
+
+    def _resolve_platform(
+        self, platform: PlatformLike
+    ) -> Tuple[Optional[Platform], str]:
+        """Resolve a platform argument into (Platform or None, platform name).
+
+        ``None`` is allowed for providers that do not price a modelled
+        platform (e.g. the host profiler); the provider's name then labels
+        the context.
+        """
+        if platform is None:
+            return None, self.provider.name
         if isinstance(platform, Platform):
-            return platform
+            return platform, platform.name
         try:
-            return PLATFORMS[platform]
+            resolved = PLATFORMS[platform]
         except KeyError:
             raise KeyError(
                 f"unknown platform {platform!r}; available platforms: {sorted(PLATFORMS)}"
             ) from None
+        return resolved, resolved.name
 
     def _resolve_network(self, model: ModelLike) -> Tuple[str, Network]:
         """Resolve a model name or network into (fingerprint, network)."""
@@ -187,22 +519,65 @@ class Engine:
             self._networks[model] = build_model(model)
         return model, self._networks[model]
 
+    def _query(
+        self,
+        fingerprint: str,
+        network: Network,
+        platform: Optional[Platform],
+        platform_name: str,
+        threads: int,
+    ) -> CostQuery:
+        return CostQuery(
+            network=network,
+            fingerprint=fingerprint,
+            platform=platform,
+            platform_name=platform_name,
+            threads=threads,
+            library=self.library,
+            dt_graph=self.dt_graph,
+        )
+
+    def _build_context(
+        self,
+        fingerprint: str,
+        network: Network,
+        platform: Optional[Platform],
+        platform_name: str,
+        threads: int,
+    ) -> SelectionContext:
+        """Build a selection context with tables from the cost provider."""
+        query = self._query(fingerprint, network, platform, platform_name, threads)
+        tables = self.provider.tables(query)
+        context = SelectionContext(
+            network=network,
+            library=self.library,
+            dt_graph=self.dt_graph,
+            cost_model=self.provider.cost_model(platform),
+            platform_name=platform_name,
+            threads=threads,
+            tables=tables,
+            platform=platform,
+        )
+        if threads != 1:
+            # Framework emulations lazily need single-threaded tables; route
+            # that rebuild through the provider so a persistent store serves
+            # (and captures) it too.
+            single = query.with_threads(1)
+            context.single_thread_tables_factory = lambda: self.provider.tables(single)
+        return context
+
     def _lookup(
         self, model: ModelLike, platform: PlatformLike, threads: int
     ) -> Tuple[str, SelectionContext, bool]:
         """Resolve a query to (fingerprint, memoized context, was-cache-hit)."""
-        resolved = self._resolve_platform(platform)
+        resolved, platform_name = self._resolve_platform(platform)
         fingerprint, network = self._resolve_network(model)
-        key = (fingerprint, resolved.name, threads)
+        key = (fingerprint, platform_name, threads)
         context = self._contexts.get(key)
         if context is None:
             self._stats.misses += 1
-            context = SelectionContext.create(
-                network,
-                platform=resolved,
-                library=self.library,
-                dt_graph=self.dt_graph,
-                threads=threads,
+            context = self._build_context(
+                fingerprint, network, resolved, platform_name, threads
             )
             self._contexts[key] = context
             return fingerprint, context, False
@@ -224,7 +599,11 @@ class Engine:
         )
 
     def clear_cache(self) -> None:
-        """Drop every cached context and reset the statistics."""
+        """Drop every cached context and reset the statistics.
+
+        The persistent store (if any) is untouched; use
+        :meth:`CostStore.clear` to delete on-disk entries.
+        """
         self._contexts.clear()
         self._networks.clear()
         self._stats = _CacheState()
@@ -262,19 +641,78 @@ class Engine:
             from_cache=from_cache,
         )
 
-    def compare(
+    def plan(
         self,
         model: ModelLike,
         platform: PlatformLike,
+        strategy: str = "pbqp",
         threads: int = 1,
-        strategies: Optional[Sequence[str]] = None,
-        include_frameworks: bool = True,
-    ) -> List[SelectionResult]:
-        """Run every applicable registered strategy (or a named subset).
+    ) -> Plan:
+        """Select and return an executable :class:`Plan` handle."""
+        result = self.select(model, platform, strategy=strategy, threads=threads)
+        _, network = self._resolve_network(model)
+        return Plan(
+            result=result,
+            network=network,
+            library=self.library,
+            dt_graph=self.dt_graph,
+        )
 
-        All strategies share one profiled context, so the whole sweep pays
-        for profiling exactly once.
+    def run(
+        self,
+        model: ModelLike,
+        platform: PlatformLike,
+        strategy: str = "pbqp",
+        threads: int = 1,
+        input: Optional[np.ndarray] = None,
+        seed: int = 0,
+    ) -> ExecutionReport:
+        """One-shot plan-and-execute: select, run a forward pass, and report."""
+        return self.plan(model, platform, strategy=strategy, threads=threads).execute(
+            input=input, seed=seed
+        )
+
+    def plan_from_file(
+        self, path: Union[str, Path], network: Optional[Network] = None
+    ) -> Plan:
+        """Rebuild an executable :class:`Plan` from a saved plan document.
+
+        The network is rebuilt from the model zoo by the plan's recorded
+        network name unless an explicit ``network`` is passed.
         """
+        network_plan = load_plan(path, self.dt_graph)
+        if network is None:
+            _, network = self._resolve_network(network_plan.network_name)
+        elif network.name != network_plan.network_name:
+            raise ValueError(
+                f"plan was saved for network {network_plan.network_name!r}, "
+                f"got {network.name!r}"
+            )
+        result = SelectionResult(
+            model=network_plan.network_name,
+            platform=network_plan.platform_name,
+            threads=network_plan.threads,
+            strategy=network_plan.strategy,
+            plan=network_plan,
+            from_cache=False,
+        )
+        return Plan(
+            result=result,
+            network=network,
+            library=self.library,
+            dt_graph=self.dt_graph,
+        )
+
+    def _select_all(
+        self,
+        model: ModelLike,
+        platform: PlatformLike,
+        threads: int,
+        strategies: Optional[Sequence[str]],
+        include_frameworks: bool,
+    ) -> List[SelectionResult]:
+        """Select with every applicable strategy (or a named subset), in
+        registration order, against one shared profiled context."""
         context = self.context_for(model, platform, threads)
         if strategies is None:
             chosen: List[Strategy] = applicable_strategies(
@@ -287,15 +725,129 @@ class Engine:
             for strategy in chosen
         ]
 
+    def compare(
+        self,
+        model: ModelLike,
+        platform: PlatformLike,
+        threads: int = 1,
+        strategies: Optional[Sequence[str]] = None,
+        include_frameworks: bool = True,
+    ) -> ComparisonReport:
+        """Evaluate every applicable strategy (or a named subset), ranked.
+
+        All strategies share one profiled context, so the whole sweep pays
+        for profiling exactly once; the returned report is sorted by total
+        cost and carries speedups over the common single-threaded SUM2D
+        baseline.
+        """
+        results = self._select_all(
+            model, platform, threads, strategies, include_frameworks
+        )
+        baseline = self.baseline(model, platform)
+        return ComparisonReport(
+            model=baseline.model,
+            platform=self.context_for(model, platform, threads).platform_name,
+            threads=threads,
+            baseline=baseline,
+            results=sorted(results, key=lambda result: result.total_ms),
+        )
+
     def select_many(
-        self, requests: Iterable[Union[SelectionRequest, Tuple]]
+        self,
+        requests: Iterable[Union[SelectionRequest, Tuple]],
+        max_workers: Optional[int] = None,
     ) -> List[SelectionResult]:
         """Batch entry point over (model, platform, strategy, threads) combos.
 
         Accepts :class:`SelectionRequest` objects or plain tuples in the same
-        field order.  Requests sharing a (model, platform, threads) key reuse
-        one profiled context via the cache.
+        field order.  Requests are grouped by their ``(network fingerprint,
+        platform, threads)`` context key; each *distinct* cold context is
+        profiled once, on a thread pool when there is more than one, and the
+        per-request selections then run against the warm cache.  Results are
+        returned in request order.
         """
+        normalized = [
+            request if isinstance(request, SelectionRequest) else SelectionRequest(*request)
+            for request in requests
+        ]
+        pending: Dict[Tuple[str, str, int], Tuple] = {}
+        for request in normalized:
+            resolved, platform_name = self._resolve_platform(request.platform)
+            fingerprint, network = self._resolve_network(request.model)
+            key = (fingerprint, platform_name, request.threads)
+            if key not in self._contexts and key not in pending:
+                pending[key] = (
+                    fingerprint,
+                    network,
+                    resolved,
+                    platform_name,
+                    request.threads,
+                )
+        if len(pending) == 1 or max_workers == 1:
+            for key, args in pending.items():
+                self._stats.misses += 1
+                self._contexts[key] = self._build_context(*args)
+        elif pending:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = {
+                    key: pool.submit(self._build_context, *args)
+                    for key, args in pending.items()
+                }
+            for key, future in futures.items():
+                self._stats.misses += 1
+                self._contexts[key] = future.result()
+        return [
+            self.select(
+                request.model,
+                request.platform,
+                strategy=request.strategy,
+                threads=request.threads,
+            )
+            for request in normalized
+        ]
+
+    def baseline(self, model: ModelLike, platform: PlatformLike) -> SelectionResult:
+        """The common speedup baseline: single-threaded SUM2D."""
+        return self.select(model, platform, strategy=BASELINE_STRATEGY, threads=1)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        info = self.cache_info()
+        return (
+            f"{type(self).__name__}(provider={self.provider.name!r}, "
+            f"contexts={info.contexts}, hits={info.hits}, misses={info.misses})"
+        )
+
+
+class Engine(Session):
+    """The PR-1 facade, kept as a thin shim over :class:`Session`.
+
+    .. deprecated::
+        New code should use :class:`Session`, which additionally exposes
+        :meth:`~Session.plan` / :meth:`~Session.run` (execution) and
+        persistent cost tables via ``cache_dir``.  ``Engine`` preserves two
+        PR-1 behaviours exactly: :meth:`compare` returns a plain list in
+        strategy-registration order (a :class:`Session` returns a
+        :class:`ComparisonReport` ranked by total cost), and
+        :meth:`select_many` profiles sequentially.
+    """
+
+    def compare(
+        self,
+        model: ModelLike,
+        platform: PlatformLike,
+        threads: int = 1,
+        strategies: Optional[Sequence[str]] = None,
+        include_frameworks: bool = True,
+    ) -> List[SelectionResult]:
+        """Run every applicable strategy; results in registration order."""
+        return self._select_all(
+            model, platform, threads, strategies, include_frameworks
+        )
+
+    def select_many(
+        self, requests: Iterable[Union[SelectionRequest, Tuple]]
+    ) -> List[SelectionResult]:
+        """Sequential batch selection (PR-1 semantics)."""
         results: List[SelectionResult] = []
         for request in requests:
             if not isinstance(request, SelectionRequest):
@@ -309,15 +861,3 @@ class Engine:
                 )
             )
         return results
-
-    def baseline(
-        self, model: ModelLike, platform: PlatformLike
-    ) -> SelectionResult:
-        """The common speedup baseline: single-threaded SUM2D."""
-        return self.select(model, platform, strategy=BASELINE_STRATEGY, threads=1)
-
-    def __repr__(self) -> str:  # pragma: no cover - trivial
-        info = self.cache_info()
-        return (
-            f"Engine(contexts={info.contexts}, hits={info.hits}, misses={info.misses})"
-        )

@@ -1,15 +1,22 @@
 """Command-line interface for the reproduction.
 
-Five subcommands cover the workflows a downstream user needs:
+Seven subcommands cover the workflows a downstream user needs:
 
 * ``repro select``  — run one selection strategy for a zoo model on a modelled
   platform (default: the paper's PBQP pipeline) and print (or save) the plan;
+* ``repro run``     — plan *and execute* a forward pass (or execute a plan
+  saved with ``select --save``) and print the per-layer execution report;
 * ``repro compare`` — evaluate every registered strategy for one
-  network/platform/thread-count and print the speedup row of the figure;
+  network/platform/thread-count, ranked by total cost with speedups;
+* ``repro cache``   — inspect or clear a persistent cost-table store;
 * ``repro figures`` — regenerate the full set of whole-network figures;
 * ``repro tables``  — regenerate the absolute-time tables (Tables 2 and 3);
 * ``repro list``    — list the available models, platforms and registered
   selection strategies.
+
+Every selection-driving subcommand accepts ``--cache-dir PATH``: cost tables
+are then persisted in a :class:`~repro.cost.store.CostStore`, so a second
+invocation (a fresh process) skips profiling entirely.
 
 Invoke as ``python -m repro <subcommand> ...`` (or ``repro <subcommand> ...``
 once the package is installed).
@@ -21,10 +28,10 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
-from repro.api import Engine
+from repro.api import Session
 from repro.core.strategies import STRATEGIES, registered_names
 from repro.cost.platform import PLATFORMS
-from repro.cost.serialize import save_plan
+from repro.cost.store import CostStore
 from repro.experiments.tables import format_absolute_table, run_absolute_time_table
 from repro.experiments.whole_network import (
     FIGURE_NETWORKS,
@@ -50,6 +57,14 @@ def _add_threads_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_cache_dir_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist cost tables in this directory (skips profiling when warm)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -62,6 +77,7 @@ def build_parser() -> argparse.ArgumentParser:
     select.add_argument("model", choices=sorted(MODEL_BUILDERS), help="model zoo network")
     _add_platform_argument(select)
     _add_threads_argument(select)
+    _add_cache_dir_argument(select)
     select.add_argument(
         "--strategy",
         choices=registered_names(),
@@ -69,7 +85,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered selection strategy to run (default: pbqp)",
     )
     select.add_argument("--schedule", action="store_true", help="print the generated schedule")
-    select.add_argument("--output", help="write the selected plan to this JSON file")
+    select.add_argument(
+        "--save",
+        "--output",
+        dest="save",
+        metavar="PATH",
+        help="write the selected plan to this JSON file (executable via 'run --plan')",
+    )
+
+    run = subparsers.add_parser(
+        "run", help="plan and execute one forward pass, reporting per-layer times"
+    )
+    run.add_argument("model", choices=sorted(MODEL_BUILDERS), help="model zoo network")
+    _add_platform_argument(run)
+    _add_threads_argument(run)
+    _add_cache_dir_argument(run)
+    run.add_argument(
+        "--strategy",
+        choices=registered_names(),
+        default="pbqp",
+        help="registered selection strategy to run (default: pbqp)",
+    )
+    run.add_argument(
+        "--plan",
+        metavar="PATH",
+        help="execute a plan saved with 'select --save' instead of selecting",
+    )
+    run.add_argument(
+        "--seed", type=int, default=0, help="seed for weights and the generated input"
+    )
 
     compare = subparsers.add_parser(
         "compare", help="evaluate every selection strategy for one model"
@@ -77,6 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("model", choices=sorted(MODEL_BUILDERS))
     _add_platform_argument(compare)
     _add_threads_argument(compare)
+    _add_cache_dir_argument(compare)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear a persistent cost-table store"
+    )
+    cache.add_argument(
+        "--cache-dir", required=True, help="the store directory to inspect"
+    )
+    cache.add_argument(
+        "--clear", action="store_true", help="delete every entry in the store"
+    )
 
     figures = subparsers.add_parser(
         "figures", help="regenerate the whole-network figures (5/6/7a/7b)"
@@ -94,6 +149,11 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _session(args: argparse.Namespace) -> Session:
+    """A session honouring the subcommand's ``--cache-dir`` (when present)."""
+    return Session(cache_dir=getattr(args, "cache_dir", None))
+
+
 def _solver_note(plan) -> str:
     """Solver statistics suffix for the speedup line, robust to absent stats."""
     if "pbqp_optimal" not in plan.metadata:
@@ -104,9 +164,9 @@ def _solver_note(plan) -> str:
 
 
 def _command_select(args: argparse.Namespace) -> int:
-    engine = Engine()
+    session = _session(args)
     try:
-        result = engine.select(
+        result = session.select(
             args.model, args.platform, strategy=args.strategy, threads=args.threads
         )
     except ValueError as exc:  # e.g. a platform-gated strategy on the wrong platform
@@ -114,7 +174,7 @@ def _command_select(args: argparse.Namespace) -> int:
         return 2
     # The speedup denominator is the paper's common baseline: *single-threaded*
     # SUM2D, matching the figures' methodology regardless of --threads.
-    baseline = engine.baseline(args.model, args.platform)
+    baseline = session.baseline(args.model, args.platform)
     plan = result.plan
     print(plan.summary())
     print(
@@ -122,32 +182,78 @@ def _command_select(args: argparse.Namespace) -> int:
         f"{result.speedup_over(baseline):.2f}x{_solver_note(plan)}"
     )
     if args.schedule:
-        network = engine.context_for(args.model, args.platform, args.threads).network
+        network = session.context_for(args.model, args.platform, args.threads).network
         print()
         print(render_schedule(network, plan))
-    if args.output:
-        save_plan(plan, args.output)
-        print(f"  plan written to {args.output}")
+    if args.save:
+        from repro.cost.serialize import save_plan
+
+        save_plan(plan, args.save)
+        print(f"  plan written to {args.save}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    session = _session(args)
+    try:
+        if args.plan:
+            plan = session.plan_from_file(args.plan)
+            if plan.network.name != args.model:
+                print(
+                    f"error: plan {args.plan} was saved for network "
+                    f"{plan.network.name!r}, not {args.model!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            print(f"executing saved plan {args.plan} [{plan.strategy}]")
+        else:
+            plan = session.plan(
+                args.model, args.platform, strategy=args.strategy, threads=args.threads
+            )
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = plan.execute(seed=args.seed)
+    print(report.format())
+    print(
+        f"  output: class {int(report.output.argmax())} "
+        f"(probability {float(report.output.max()):.3f})"
+    )
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
-    platform = PLATFORMS[args.platform]
-    result = run_whole_network(args.model, platform, threads=args.threads)
-    title = (
-        f"Whole-network comparison — {args.model} on {platform.name}, "
-        f"{args.threads} thread{'s' if args.threads != 1 else ''}"
-    )
-    print(format_speedup_table([result], title))
-    print(f"best strategy: {result.best_strategy()}")
+    session = _session(args)
+    report = session.compare(args.model, args.platform, threads=args.threads)
+    print(report.format())
+    print(f"best strategy: {report.best.strategy}")
+    return 0
+
+
+def _command_cache(args: argparse.Namespace) -> int:
+    store = CostStore(args.cache_dir)
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} cost-table entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    entries = store.entries()
+    print(f"cost store at {store.cache_dir} — {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}")
+    for entry in entries:
+        key = entry.key
+        print(
+            f"  {key.fingerprint:<24} {key.platform:<18} {key.threads:>2} thread(s)  "
+            f"{key.provider} v{key.provider_version}  {entry.size_bytes / 1024:8.1f} KiB"
+        )
     return 0
 
 
 def _command_figures(args: argparse.Namespace) -> int:
     platform = PLATFORMS[args.platform]
     networks = FIGURE_NETWORKS[platform.name]
+    session = Session()
     results = [
-        run_whole_network(name, platform, threads=args.threads) for name in networks
+        run_whole_network(name, platform, threads=args.threads, session=session)
+        for name in networks
     ]
     mode = "multithreaded" if args.threads > 1 else "single-threaded"
     print(format_speedup_table(results, f"Whole-network speedups on {platform.name} ({mode})"))
@@ -188,7 +294,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "select": _command_select,
+        "run": _command_run,
         "compare": _command_compare,
+        "cache": _command_cache,
         "figures": _command_figures,
         "tables": _command_tables,
         "list": _command_list,

@@ -20,7 +20,7 @@ The encoding follows the paper exactly:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.legalize import finalize_plan
 from repro.core.plan import NetworkPlan
@@ -56,6 +56,12 @@ class SelectionContext:
     tables: CostTables
     platform: Optional[Platform] = None
     _single_thread_tables: Optional[CostTables] = field(default=None, repr=False)
+    #: Optional hook producing single-threaded tables (set by the Session API so
+    #: the lazy rebuild below goes through its cost provider — and therefore
+    #: through a persistent store — instead of re-profiling directly).
+    single_thread_tables_factory: Optional[Callable[[], CostTables]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def platform_vector_width(self) -> int:
@@ -72,9 +78,12 @@ class SelectionContext:
         if self.threads == 1:
             return self.tables
         if self._single_thread_tables is None:
-            self._single_thread_tables = build_cost_tables(
-                self.network, self.library, self.dt_graph, self.cost_model, threads=1
-            )
+            if self.single_thread_tables_factory is not None:
+                self._single_thread_tables = self.single_thread_tables_factory()
+            else:
+                self._single_thread_tables = build_cost_tables(
+                    self.network, self.library, self.dt_graph, self.cost_model, threads=1
+                )
         return self._single_thread_tables
 
     @classmethod

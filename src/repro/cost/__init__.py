@@ -17,6 +17,14 @@ from repro.cost.model import CostModel
 from repro.cost.analytical import AnalyticalCostModel
 from repro.cost.profiler import WallClockProfiler
 from repro.cost.tables import CostTables, build_cost_tables
+from repro.cost.provider import (
+    AnalyticalCostProvider,
+    CostModelProvider,
+    CostProvider,
+    CostQuery,
+    ProfiledCostProvider,
+)
+from repro.cost.store import CostStore, StoreEntry, StoreKey, StoreStats
 
 __all__ = [
     "Platform",
@@ -28,4 +36,13 @@ __all__ = [
     "WallClockProfiler",
     "CostTables",
     "build_cost_tables",
+    "CostProvider",
+    "CostQuery",
+    "AnalyticalCostProvider",
+    "ProfiledCostProvider",
+    "CostModelProvider",
+    "CostStore",
+    "StoreKey",
+    "StoreEntry",
+    "StoreStats",
 ]

@@ -1,0 +1,235 @@
+"""A persistent, disk-backed cost-table store.
+
+Section 4 of the paper: cost tables are "tiny compared to the weight data
+required for most DNN models, making it feasible to produce these cost tables
+before deployment, and ship them with the trained model".  The in-process
+caches of :class:`repro.api.Session` realize "profile once, select many"
+within one process; :class:`CostStore` extends it across processes: every
+produced table set is written to a cache directory as a JSON document keyed
+by ``(network fingerprint, platform, threads, provider name, provider
+version)``, and any later session pointed at the same directory loads the
+tables instead of re-profiling.
+
+The store is itself a :class:`~repro.cost.provider.CostProvider` — it
+decorates any other provider, so the same persistence works for analytically
+priced tables and for host-profiled ones (where re-profiling is genuinely
+expensive).  The provider version participates in the key, so bumping a
+provider's ``version`` invalidates stale entries instead of silently serving
+them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.cost.model import CostModel
+from repro.cost.platform import Platform
+from repro.cost.provider import AnalyticalCostProvider, CostProvider, CostQuery
+from repro.cost.serialize import cost_tables_from_dict, cost_tables_to_dict
+from repro.cost.tables import CostTables
+
+PathLike = Union[str, Path]
+
+#: Format identifier embedded in every store entry.
+STORE_ENTRY_FORMAT = "repro/cost-store-entry/v1"
+
+
+@dataclass(frozen=True)
+class StoreKey:
+    """The identity of one persisted cost-table set."""
+
+    fingerprint: str
+    platform: str
+    threads: int
+    provider: str
+    provider_version: str
+    #: Digest of the primitive library and DT graph the tables were built
+    #: against — node costs are keyed by primitive name, so tables from a
+    #: different library must not be served.
+    components: str = ""
+
+    def digest(self) -> str:
+        """A short stable digest of the full key (used in the filename)."""
+        text = "|".join(
+            (
+                self.fingerprint,
+                self.platform,
+                str(self.threads),
+                self.provider,
+                self.provider_version,
+                self.components,
+            )
+        )
+        return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def components_digest(library, dt_graph) -> str:
+    """A stable digest of a (primitive library, DT graph) pair.
+
+    Covers the primitive names with their layouts and the DT graph's layouts
+    and direct transforms — everything the cost-table *shape* depends on.
+    """
+    parts = sorted(
+        f"{p.name}:{p.input_layout.name}>{p.output_layout.name}" for p in library
+    )
+    parts.append("/layouts:" + ",".join(sorted(dt_graph.layout_names)))
+    parts.append(
+        "/transforms:"
+        + ",".join(
+            sorted(
+                f"{t.source.name}>{t.target.name}" for t in dt_graph.transforms
+            )
+        )
+    )
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One entry currently present in the store directory."""
+
+    key: StoreKey
+    path: Path
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Hit/miss counters of one store instance plus the on-disk entry count."""
+
+    hits: int
+    misses: int
+    entries: int
+
+
+def _slug(text: str) -> str:
+    """A filesystem-safe fragment of a key component."""
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", text)[:48]
+
+
+class CostStore:
+    """Disk-backed cost tables: a persistent decorator around a provider.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the JSON entries (created if absent).
+    provider:
+        The provider that produces tables on a miss (default: the analytical
+        provider, matching :class:`repro.api.Session`'s default).
+    """
+
+    def __init__(
+        self, cache_dir: PathLike, provider: Optional[CostProvider] = None
+    ) -> None:
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.provider = provider if provider is not None else AnalyticalCostProvider()
+        self._hits = 0
+        self._misses = 0
+
+    # -- CostProvider interface ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"store[{self.provider.name}]"
+
+    @property
+    def version(self) -> str:
+        return self.provider.version
+
+    def cost_model(self, platform: Optional[Platform]) -> CostModel:
+        return self.provider.cost_model(platform)
+
+    def tables(self, query: CostQuery) -> CostTables:
+        """Load the query's tables from disk, or produce and persist them."""
+        key = self.key_for(query)
+        path = self.path_for(key)
+        if path.exists():
+            document = json.loads(path.read_text())
+            self._hits += 1
+            return cost_tables_from_dict(document["tables"], query.dt_graph)
+        tables = self.provider.tables(query)
+        self._misses += 1
+        self._write(path, key, tables)
+        return tables
+
+    # -- keying and paths ---------------------------------------------------------
+
+    def key_for(self, query: CostQuery) -> StoreKey:
+        """The persistent identity of a query's tables."""
+        return StoreKey(
+            fingerprint=query.fingerprint,
+            platform=query.platform_name,
+            threads=query.threads,
+            provider=self.provider.name,
+            provider_version=self.provider.version,
+            components=components_digest(query.library, query.dt_graph),
+        )
+
+    def path_for(self, key: StoreKey) -> Path:
+        """The JSON file one key is stored at (readable prefix + key digest)."""
+        prefix = f"{_slug(key.fingerprint)}_{_slug(key.platform)}_{key.threads}t"
+        return self.cache_dir / f"{prefix}_{key.digest()}.json"
+
+    def contains(self, query: CostQuery) -> bool:
+        """Whether the store already holds tables for a query."""
+        return self.path_for(self.key_for(query)).exists()
+
+    # -- management ---------------------------------------------------------------
+
+    def entries(self) -> List[StoreEntry]:
+        """Every well-formed entry currently in the cache directory."""
+        found: List[StoreEntry] = []
+        for path in sorted(self.cache_dir.glob("*.json")):
+            try:
+                document = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                continue
+            if document.get("format") != STORE_ENTRY_FORMAT:
+                continue
+            found.append(
+                StoreEntry(
+                    key=StoreKey(**document["key"]),
+                    path=path,
+                    size_bytes=path.stat().st_size,
+                )
+            )
+        return found
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        for entry in self.entries():
+            entry.path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def stats(self) -> StoreStats:
+        """This instance's hit/miss counters and the on-disk entry count."""
+        return StoreStats(hits=self._hits, misses=self._misses, entries=len(self.entries()))
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _write(self, path: Path, key: StoreKey, tables: CostTables) -> None:
+        document = {
+            "format": STORE_ENTRY_FORMAT,
+            "key": asdict(key),
+            "tables": cost_tables_to_dict(tables),
+        }
+        # Write-then-rename so a crashed process never leaves a torn entry.
+        temporary = path.with_suffix(f".tmp{os.getpid()}")
+        temporary.write_text(json.dumps(document))
+        temporary.replace(path)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"CostStore(cache_dir={str(self.cache_dir)!r}, "
+            f"provider={self.provider.name!r}, hits={self._hits}, misses={self._misses})"
+        )

@@ -18,18 +18,21 @@ Two ablations are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.core.selector import PBQPSelector, SelectionContext
+from repro.core.selector import PBQPSelector
 from repro.core.strategies import get_strategy
 from repro.cost.analytical import AnalyticalCostModel
 from repro.cost.platform import PLATFORMS, Platform
+from repro.cost.provider import CostModelProvider
 from repro.graph.scenario import ConvScenario
 from repro.layouts.transforms import LayoutTransform
-from repro.models import build_model
 from repro.pbqp.solver import PBQPSolver
 from repro.primitives.base import ConvPrimitive
 from repro.primitives.registry import PrimitiveLibrary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import Session
 
 
 class ScaledTransformCostModel:
@@ -84,15 +87,20 @@ def dt_cost_ablation(
     canonical-layout strategy becomes relatively more attractive, though never
     better than PBQP, which subsumes it).
     """
+    from repro.api import Session
+
     platform = platform or PLATFORMS["intel-haswell"]
-    network = build_model(model_name)
     base_model = AnalyticalCostModel(platform)
     points: List[DTCostAblationPoint] = []
     for scale in scales:
         cost_model = ScaledTransformCostModel(base_model, scale)
-        context = SelectionContext.create(
-            network, cost_model=cost_model, library=library, threads=threads
+        # Each scale gets its own session: the scaled model is injected as a
+        # cost provider, so the selection pipeline is exactly the public one.
+        session = Session(
+            library=library,
+            provider=CostModelProvider(cost_model, name=f"scaled-dt[{scale}]"),
         )
+        context = session.context_for(model_name, None, threads)
         pbqp = get_strategy("pbqp").build_plan(context)
         greedy = get_strategy("greedy_ignore_dt").build_plan(context)
         local = get_strategy("local_optimal").build_plan(context)
@@ -133,14 +141,14 @@ def solver_mode_ablation(
     library: Optional[PrimitiveLibrary] = None,
 ) -> List[SolverModeResult]:
     """Compare the exact branch-and-bound core search against the RN heuristic."""
+    from repro.api import Session
+
     networks = networks or ["alexnet", "googlenet"]
     platform = platform or PLATFORMS["intel-haswell"]
+    session = Session(library=library)
     results: List[SolverModeResult] = []
     for model_name in networks:
-        network = build_model(model_name)
-        context = SelectionContext.create(
-            network, platform=platform, library=library, threads=threads
-        )
+        context = session.context_for(model_name, platform, threads)
         exact_selector = PBQPSelector(PBQPSolver())
         exact_plan = exact_selector.select(context)
         exact_stats = exact_selector.solver.last_stats

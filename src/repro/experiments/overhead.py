@@ -13,12 +13,14 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
-from repro.core.selector import PBQPSelector, SelectionContext
+from repro.core.selector import PBQPSelector
 from repro.cost.platform import PLATFORMS, Platform
-from repro.models import build_model
 from repro.primitives.registry import PrimitiveLibrary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import Session
 
 
 @dataclass
@@ -38,17 +40,19 @@ def solver_overhead_report(
     platform: Optional[Platform] = None,
     threads: int = 1,
     library: Optional[PrimitiveLibrary] = None,
+    session: Optional["Session"] = None,
 ) -> List[SolverOverheadEntry]:
     """Measure PBQP construction + solve time for each evaluation network."""
+    if session is None:
+        from repro.api import Session
+
+        session = Session(library=library)
     networks = networks or ["alexnet", "vgg-b", "vgg-c", "vgg-e", "googlenet"]
     platform = platform or PLATFORMS["intel-haswell"]
     entries: List[SolverOverheadEntry] = []
     selector = PBQPSelector()
     for model_name in networks:
-        network = build_model(model_name)
-        context = SelectionContext.create(
-            network, platform=platform, library=library, threads=threads
-        )
+        context = session.context_for(model_name, platform, threads)
         start = time.perf_counter()
         plan = selector.select(context)
         total = time.perf_counter() - start

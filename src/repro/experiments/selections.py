@@ -16,12 +16,13 @@ properties of the selections, which the reproduction checks:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
-from repro.core.selector import PBQPSelector, SelectionContext
 from repro.cost.platform import PLATFORMS, Platform
-from repro.models import build_model
-from repro.primitives.registry import PrimitiveLibrary, default_primitive_library
+from repro.primitives.registry import PrimitiveLibrary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import Session
 
 
 @dataclass
@@ -57,16 +58,16 @@ def alexnet_selection_comparison(
     threads: int = 4,
     platforms: Optional[List[Platform]] = None,
     library: Optional[PrimitiveLibrary] = None,
+    session: Optional["Session"] = None,
 ) -> SelectionComparison:
     """Reproduce Figure 4: the PBQP selections for AlexNet on ARM and Intel."""
+    if session is None:
+        from repro.api import Session
+
+        session = Session(library=library)
     platforms = platforms or [PLATFORMS["arm-cortex-a57"], PLATFORMS["intel-haswell"]]
-    library = library or default_primitive_library()
     comparison = SelectionComparison(network="alexnet", threads=threads)
     for platform in platforms:
-        network = build_model("alexnet")
-        context = SelectionContext.create(
-            network, platform=platform, library=library, threads=threads
-        )
-        plan = PBQPSelector().select(context)
-        comparison.selections[platform.name] = plan.conv_selections()
+        result = session.select("alexnet", platform, strategy="pbqp", threads=threads)
+        comparison.selections[platform.name] = result.plan.conv_selections()
     return comparison

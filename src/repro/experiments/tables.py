@@ -10,13 +10,14 @@ Caffe.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
-from repro.core.selector import SelectionContext
 from repro.core.strategies import get_strategy
 from repro.cost.platform import Platform
-from repro.models import build_model
 from repro.primitives.registry import PrimitiveLibrary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import Session
 
 #: Column header -> registered strategy name, in paper order.
 COLUMN_STRATEGIES: Dict[str, str] = {
@@ -52,16 +53,22 @@ def run_absolute_time_table(
     networks: Optional[List[str]] = None,
     thread_counts: Tuple[int, ...] = (1, 4),
     library: Optional[PrimitiveLibrary] = None,
+    session: Optional["Session"] = None,
 ) -> List[AbsoluteTimeRow]:
-    """Compute every row of Table 2 (Intel) or Table 3 (ARM) for a platform."""
+    """Compute every row of Table 2 (Intel) or Table 3 (ARM) for a platform.
+
+    Pass a shared :class:`repro.api.Session` to reuse profiled cost tables
+    across calls.
+    """
+    if session is None:
+        from repro.api import Session
+
+        session = Session(library=library)
     networks = networks if networks is not None else list(TABLE_NETWORKS)
     rows: List[AbsoluteTimeRow] = []
     for threads in thread_counts:
         for model_name in networks:
-            network = build_model(model_name)
-            context = SelectionContext.create(
-                network, platform=platform, library=library, threads=threads
-            )
+            context = session.context_for(model_name, platform, threads)
             row = AbsoluteTimeRow(network=model_name, threads=threads)
             for column, strategy_name in COLUMN_STRATEGIES.items():
                 plan = get_strategy(strategy_name).build_plan(context)

@@ -17,10 +17,9 @@ figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.core.plan import NetworkPlan
-from repro.core.selector import SelectionContext
 from repro.core.strategies import (
     BASELINE_STRATEGY,
     applicable_strategies,
@@ -28,8 +27,10 @@ from repro.core.strategies import (
     get_strategy,
 )
 from repro.cost.platform import PLATFORMS, Platform
-from repro.models import build_model
 from repro.primitives.registry import PrimitiveLibrary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api import Session
 
 def __getattr__(name: str):
     """``FIGURE_STRATEGIES`` is a live view over the strategy registry.
@@ -88,23 +89,26 @@ def run_whole_network(
     threads: int = 1,
     library: Optional[PrimitiveLibrary] = None,
     include_frameworks: bool = True,
+    session: Optional["Session"] = None,
 ) -> WholeNetworkResult:
     """Evaluate every strategy of the figures for one network/platform/threads.
 
     The speedup baseline is always the *single-threaded* SUM2D instantiation,
     matching the paper's methodology ("all bars represent a speedup over a
     common baseline ... with single-threaded execution").
+
+    Pass a shared :class:`repro.api.Session` to reuse profiled cost tables
+    across calls (and, with a session ``cache_dir``, across processes).
     """
-    network = build_model(model_name)
-    context = SelectionContext.create(
-        network, platform=platform, library=library, threads=threads
-    )
+    if session is None:
+        from repro.api import Session
+
+        session = Session(library=library)
+    context = session.context_for(model_name, platform, threads)
     if threads == 1:
         baseline_context = context
     else:
-        baseline_context = SelectionContext.create(
-            network, platform=platform, library=context.library, dt_graph=context.dt_graph, threads=1
-        )
+        baseline_context = session.context_for(model_name, platform, 1)
 
     baseline = get_strategy(BASELINE_STRATEGY).build_plan(baseline_context)
     result = WholeNetworkResult(

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -45,8 +45,18 @@ class ExecutionTrace:
     layer_order: List[str] = field(default_factory=list)
     conversions_executed: int = 0
     wall_seconds: float = 0.0
+    #: Layer name -> measured compute time (seconds), conversions excluded.
+    layer_seconds: Dict[str, float] = field(default_factory=dict)
+    #: (producer, consumer) -> measured time (seconds) of the edge's
+    #: layout-conversion chain; edges without an executed chain are absent.
+    conversion_seconds: Dict[Tuple[str, str], float] = field(default_factory=dict)
     #: Layer name -> output tensor (kept only when tracing is enabled).
     outputs: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def total_conversion_seconds(self) -> float:
+        """Total measured time spent in layout conversions."""
+        return sum(self.conversion_seconds.values())
 
 
 class NetworkExecutor:
@@ -105,16 +115,20 @@ class NetworkExecutor:
 
         for layer in self.network.topological_order():
             decision = self.plan.decision(layer.name)
-            inputs = [
-                self._converted_input(producer, layer.name, tensors)
-                for producer in self.network.inputs_of(layer.name)
-            ]
-            trace.conversions_executed += sum(
-                1
-                for producer in self.network.inputs_of(layer.name)
-                if self._edge_chain[(producer, layer.name)].needs_conversion
-            )
+            inputs: List[LayoutTensor] = []
+            for producer in self.network.inputs_of(layer.name):
+                edge = self._edge_chain[(producer, layer.name)]
+                tensor = tensors[producer]
+                if edge.needs_conversion:
+                    convert_start = time.perf_counter()
+                    tensor = edge.chain.apply(tensor)
+                    trace.conversion_seconds[(producer, layer.name)] = (
+                        time.perf_counter() - convert_start
+                    )
+                    trace.conversions_executed += 1
+                inputs.append(tensor)
 
+            layer_start = time.perf_counter()
             if isinstance(layer, InputLayer):
                 if input_chw.shape != layer.shape:
                     raise ValueError(
@@ -130,6 +144,7 @@ class NetworkExecutor:
                 output = LayoutTensor.from_chw(
                     output_chw.astype(np.float32, copy=False), decision.output_layout
                 )
+            trace.layer_seconds[layer.name] = time.perf_counter() - layer_start
 
             tensors[layer.name] = output
             trace.layer_order.append(layer.name)
@@ -142,16 +157,6 @@ class NetworkExecutor:
         return final, trace
 
     # -- helpers ------------------------------------------------------------------
-
-    def _converted_input(
-        self, producer: str, consumer: str, tensors: Dict[str, LayoutTensor]
-    ) -> LayoutTensor:
-        """Apply the edge's conversion chain to the producer's output tensor."""
-        edge = self._edge_chain[(producer, consumer)]
-        tensor = tensors[producer]
-        if edge.chain is None or len(edge.chain) == 0:
-            return tensor
-        return edge.chain.apply(tensor)
 
     def _run_reference(self, layer, inputs: List[np.ndarray]) -> np.ndarray:
         """Evaluate a non-convolution layer with the reference operators."""

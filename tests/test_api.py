@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-import repro.core.selector as selector_module
+import repro.cost.provider as provider_module
 from repro.api import (
     Engine,
     SelectionRequest,
@@ -150,13 +150,15 @@ class TestAppliesToGating:
 class TestEngineCache:
     def test_second_select_reuses_context(self, engine, monkeypatch):
         builds = []
-        original = selector_module.build_cost_tables
+        original = provider_module.build_cost_tables
 
         def counting_build(*args, **kwargs):
             builds.append(kwargs.get("threads"))
             return original(*args, **kwargs)
 
-        monkeypatch.setattr(selector_module, "build_cost_tables", counting_build)
+        # Profiling flows through the cost-provider layer since the Session
+        # redesign; count it there.
+        monkeypatch.setattr(provider_module, "build_cost_tables", counting_build)
 
         first = engine.select("alexnet", "intel-haswell", strategy="pbqp")
         built_once = len(builds)

@@ -1,0 +1,100 @@
+"""Executor correctness under layout conversions.
+
+Satellite coverage for the runtime: every convolution primitive in the
+library must compute the same function as the SUM2D reference when the
+legalizer wraps it in each legal layout-conversion chain — i.e. for every
+layout ``L`` of the DT graph, the chains ``L -> primitive.input_layout`` and
+``primitive.output_layout -> L`` that :func:`repro.core.legalize.finalize_plan`
+emits around the primitive must not change the result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.legalize import finalize_plan
+from repro.core.selector import SelectionContext
+from repro.graph.layer import ConvLayer, InputLayer, ReLULayer
+from repro.graph.network import Network
+from repro.graph.scenario import ConvScenario
+from repro.runtime import NetworkExecutor, WeightStore
+from repro.primitives.registry import default_primitive_library
+
+#: The probe scenario every parametrized primitive must support.
+PROBE_SCENARIO = ConvScenario(c=4, h=12, w=12, stride=1, k=3, m=6, padding=1)
+
+#: Applicable primitive names, resolved at collection time for parametrize.
+PRIMITIVE_NAMES = sorted(
+    primitive.name for primitive in default_primitive_library().applicable(PROBE_SCENARIO)
+)
+
+
+def build_probe_network() -> Network:
+    net = Network("conversion-probe")
+    net.add_layer(InputLayer("data", shape=PROBE_SCENARIO.input_shape))
+    net.add_layer(
+        ConvLayer(
+            "conv",
+            out_channels=PROBE_SCENARIO.m,
+            kernel=PROBE_SCENARIO.k,
+            stride=PROBE_SCENARIO.stride,
+            padding=PROBE_SCENARIO.padding,
+        ),
+        ["data"],
+    )
+    net.add_layer(ReLULayer("relu"), ["conv"])
+    net.validate()
+    return net
+
+
+@pytest.fixture(scope="module")
+def probe(library, dt_graph, intel):
+    """(context, weights, input, reference output) shared by every case."""
+    network = build_probe_network()
+    context = SelectionContext.create(
+        network, platform=intel, library=library, dt_graph=dt_graph
+    )
+    weights = WeightStore(network, seed=21)
+    x = np.random.default_rng(8).standard_normal(PROBE_SCENARIO.input_shape)
+    x = x.astype(np.float32)
+    from repro.layouts.layout import CHW
+
+    reference_plan = finalize_plan(
+        context, "reference", {"conv": "sum2d"}, {"data": CHW, "relu": CHW}
+    )
+    reference = NetworkExecutor(network, reference_plan, library, weights).run(x)
+    return context, weights, x, reference
+
+
+def test_probe_covers_the_library():
+    """The probe scenario exercises the overwhelming majority of the library."""
+    assert len(PRIMITIVE_NAMES) >= 60
+
+
+@pytest.mark.parametrize("primitive_name", PRIMITIVE_NAMES)
+def test_primitive_matches_reference_under_every_conversion_chain(primitive_name, probe):
+    context, weights, x, reference = probe
+    network = context.network
+    executed_chains = 0
+    for layout in context.dt_graph.layouts:
+        plan = finalize_plan(
+            context,
+            "probe",
+            {"conv": primitive_name},
+            {"data": layout, "relu": layout},
+        )
+        executor = NetworkExecutor(network, plan, context.library, weights)
+        output, trace = executor.run_traced(x)
+        executed_chains += trace.conversions_executed
+        np.testing.assert_allclose(
+            output,
+            reference,
+            rtol=1e-3,
+            atol=1e-4,
+            err_msg=f"{primitive_name} diverges when wrapped in {layout.name} conversions",
+        )
+    primitive = context.library.get(primitive_name)
+    # Sanity: chains were actually exercised — every layout other than the
+    # primitive's own endpoints forces at least one conversion.
+    distinct_endpoints = len({primitive.input_layout.name, primitive.output_layout.name})
+    layouts = len(context.dt_graph.layouts)
+    assert executed_chains >= 2 * layouts - 2 * distinct_endpoints

@@ -1,0 +1,459 @@
+"""Tests for the Session API: plan→execute, cost providers and the CostStore."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.cost.provider as provider_module
+from repro.api import (
+    ComparisonReport,
+    Engine,
+    ExecutionReport,
+    Plan,
+    Session,
+)
+from repro.cost.provider import (
+    AnalyticalCostProvider,
+    CostModelProvider,
+    CostProvider,
+    CostQuery,
+    ProfiledCostProvider,
+)
+from repro.cost.store import CostStore, STORE_ENTRY_FORMAT
+
+
+@pytest.fixture
+def session(library, dt_graph):
+    return Session(library=library, dt_graph=dt_graph)
+
+
+@pytest.fixture
+def counting_builds(monkeypatch):
+    """Count every cost-table build (i.e. every act of profiling)."""
+    builds = []
+    original = provider_module.build_cost_tables
+
+    def counting(*args, **kwargs):
+        builds.append(kwargs.get("threads"))
+        return original(*args, **kwargs)
+
+    monkeypatch.setattr(provider_module, "build_cost_tables", counting)
+    return builds
+
+
+class TestPlanExecute:
+    def test_plan_handle_wraps_selection(self, session, tiny_network):
+        plan = session.plan(tiny_network, "intel-haswell")
+        assert isinstance(plan, Plan)
+        assert plan.strategy == "pbqp"
+        assert plan.total_ms == plan.network_plan.total_ms
+        assert plan.input_shape() == (3, 32, 32)
+
+    def test_execute_reports_per_layer_times(self, session, tiny_network):
+        plan = session.plan(tiny_network, "intel-haswell")
+        report = plan.execute()
+        assert isinstance(report, ExecutionReport)
+        layer_names = [entry.layer for entry in report.layers]
+        assert layer_names == [l.name for l in tiny_network.topological_order()]
+        assert all(entry.measured_ms >= 0 for entry in report.layers)
+        # Convolution layers carry their primitive and predicted cost.
+        conv_entries = [e for e in report.layers if e.primitive is not None]
+        assert set(e.layer for e in conv_entries) == set(
+            plan.network_plan.conv_selections()
+        )
+        for entry in conv_entries:
+            assert entry.predicted_ms == pytest.approx(
+                1e3 * plan.network_plan.decision(entry.layer).cost
+            )
+            assert entry.delta_ms == pytest.approx(entry.measured_ms - entry.predicted_ms)
+
+    def test_execute_accounts_for_conversions(self, session, tiny_network):
+        plan = session.plan(tiny_network, "intel-haswell")
+        report = plan.execute()
+        assert report.conversions_planned == len(plan.network_plan.conversions())
+        assert report.conversions_executed == report.conversions_planned
+        assert report.predicted_conversion_ms == pytest.approx(
+            1e3 * plan.network_plan.dt_cost
+        )
+        assert report.measured_conversion_ms >= 0
+        assert report.measured_total_ms <= report.wall_ms + 1.0
+
+    def test_predicted_vs_measured_totals(self, session, tiny_network):
+        plan = session.plan(tiny_network, "intel-haswell")
+        report = plan.execute()
+        assert report.predicted_total_ms == pytest.approx(plan.total_ms, rel=1e-6)
+        assert report.measured_total_ms > 0
+        assert report.prediction_ratio == pytest.approx(
+            report.measured_total_ms / report.predicted_total_ms
+        )
+
+    def test_execute_output_matches_sum2d_reference(self, session, tiny_network):
+        pbqp = session.plan(tiny_network, "intel-haswell", strategy="pbqp")
+        sum2d = session.plan(tiny_network, "intel-haswell", strategy="sum2d")
+        # Same seed => same weights and same generated input.
+        out_pbqp = pbqp.execute(seed=7).output
+        out_sum2d = sum2d.execute(seed=7).output
+        np.testing.assert_allclose(out_pbqp, out_sum2d, rtol=1e-3, atol=1e-4)
+
+    def test_run_one_shot(self, session, tiny_network):
+        report = session.run(tiny_network, "intel-haswell", strategy="local_optimal")
+        assert report.strategy == "local_optimal"
+        assert report.output.shape == (10, 1, 1)
+        assert report.output.sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_format_is_readable(self, session, tiny_network):
+        report = session.run(tiny_network, "intel-haswell")
+        text = report.format()
+        assert "Execution report" in text
+        assert "measured" in text and "predicted" in text
+        for name in tiny_network.layer_names():
+            assert name in text
+
+    def test_plan_save_and_reload_roundtrip(self, session, tiny_network, tmp_path):
+        plan = session.plan(tiny_network, "intel-haswell")
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = session.plan_from_file(path, network=tiny_network)
+        assert loaded.network_plan.conv_selections() == plan.network_plan.conv_selections()
+        out_a = plan.execute(seed=3).output
+        out_b = loaded.execute(seed=3).output
+        np.testing.assert_allclose(out_b, out_a, rtol=1e-5, atol=1e-6)
+
+    def test_plan_from_file_rejects_wrong_network(self, session, tiny_network, tmp_path):
+        plan = session.plan(tiny_network, "intel-haswell")
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        from repro.models import build_model
+
+        with pytest.raises(ValueError, match="saved for network"):
+            session.plan_from_file(path, network=build_model("alexnet"))
+
+
+class TestCompare:
+    def test_compare_is_sorted_by_total_cost(self, session):
+        report = session.compare("alexnet", "intel-haswell")
+        assert isinstance(report, ComparisonReport)
+        totals = [r.total_ms for r in report.results]
+        assert totals == sorted(totals)
+        assert report.best.strategy == "pbqp"
+
+    def test_compare_rows_carry_speedup_vs_baseline(self, session):
+        report = session.compare("alexnet", "intel-haswell")
+        assert report.baseline.strategy == "sum2d"
+        assert report.baseline.threads == 1
+        for strategy, total_ms, speedup in report.rows():
+            assert speedup == pytest.approx(report.baseline.total_ms / total_ms)
+        # The ranked-first row has the highest speedup.
+        speedups = [row[2] for row in report.rows()]
+        assert speedups == sorted(speedups, reverse=True)
+
+    def test_compare_profiles_once(self, session, counting_builds):
+        session.compare("alexnet", "intel-haswell")
+        assert len(counting_builds) == 1
+        assert session.cache_info().misses == 1
+
+    def test_compare_format_mentions_ranking(self, session):
+        text = session.compare("alexnet", "intel-haswell").format()
+        assert "sorted by total cost" in text
+        assert "speedup" in text
+        assert "pbqp" in text
+
+
+class TestSelectManyParallel:
+    def test_groups_by_context_and_profiles_each_once(self, session, counting_builds):
+        requests = [
+            ("alexnet", "intel-haswell", "pbqp", 1),
+            ("alexnet", "intel-haswell", "local_optimal", 1),
+            ("alexnet", "arm-cortex-a57", "pbqp", 1),
+            ("alexnet", "intel-haswell", "sum2d", 1),
+        ]
+        results = session.select_many(requests)
+        assert [r.strategy for r in results] == ["pbqp", "local_optimal", "pbqp", "sum2d"]
+        # Two distinct contexts, each profiled exactly once (on the pool).
+        assert len(counting_builds) == 2
+        info = session.cache_info()
+        assert info.misses == 2 and info.contexts == 2
+        # Every selection then hit the warm cache.
+        assert all(r.from_cache for r in results)
+
+    def test_single_context_stays_sequential(self, session, counting_builds):
+        results = session.select_many(
+            [("alexnet", "intel-haswell", "pbqp", 1)], max_workers=4
+        )
+        assert len(results) == 1 and len(counting_builds) == 1
+
+    def test_max_workers_one_forces_sequential(self, session, counting_builds):
+        session.select_many(
+            [
+                ("alexnet", "intel-haswell", "pbqp", 1),
+                ("alexnet", "arm-cortex-a57", "pbqp", 1),
+            ],
+            max_workers=1,
+        )
+        assert len(counting_builds) == 2
+        assert session.cache_info().misses == 2
+
+    def test_results_match_sequential_engine(self, library, dt_graph):
+        requests = [
+            ("alexnet", "intel-haswell", "pbqp", 1),
+            ("alexnet", "arm-cortex-a57", "pbqp", 1),
+        ]
+        parallel = Session(library=library, dt_graph=dt_graph).select_many(requests)
+        sequential = Engine(library=library, dt_graph=dt_graph).select_many(requests)
+        for p, s in zip(parallel, sequential):
+            assert p.plan.conv_selections() == s.plan.conv_selections()
+            assert p.total_ms == pytest.approx(s.total_ms)
+
+
+class TestProviders:
+    def test_analytical_is_the_default(self, session):
+        assert isinstance(session.provider, AnalyticalCostProvider)
+        assert session.provider.name == "analytical"
+
+    def test_analytical_requires_platform(self):
+        with pytest.raises(ValueError, match="requires a platform"):
+            AnalyticalCostProvider().cost_model(None)
+
+    def test_profiled_provider_drives_selection(self, library, dt_graph, tiny_network):
+        session = Session(
+            library=library, dt_graph=dt_graph, provider=ProfiledCostProvider()
+        )
+        result = session.select(tiny_network, None)
+        assert result.platform == "profiled"
+        assert result.strategy == "pbqp"
+        # Measured costs are real times: strictly positive.
+        context = session.context_for(tiny_network, None)
+        for costs in context.tables.node_costs.values():
+            assert all(value > 0 for value in costs.values())
+
+    def test_cost_model_provider_adapts_any_model(self, library, dt_graph, intel_cost_model):
+        provider = CostModelProvider(intel_cost_model, name="adapted", version="9")
+        assert provider.name == "adapted" and provider.version == "9"
+        session = Session(library=library, dt_graph=dt_graph, provider=provider)
+        result = session.select("alexnet", None)
+        assert result.platform == "adapted"
+
+    def test_providers_satisfy_protocol(self, tmp_path):
+        assert isinstance(AnalyticalCostProvider(), CostProvider)
+        assert isinstance(ProfiledCostProvider(), CostProvider)
+        assert isinstance(CostStore(tmp_path), CostProvider)
+
+
+class TestCostStore:
+    def test_session_cache_dir_wraps_provider(self, library, dt_graph, tmp_path):
+        session = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        assert isinstance(session.provider, CostStore)
+        assert session.store is session.provider
+        assert session.store.provider.name == "analytical"
+
+    def test_fresh_session_skips_profiling(
+        self, library, dt_graph, tiny_network, tmp_path, counting_builds
+    ):
+        first = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        cold = first.select(tiny_network, "intel-haswell")
+        assert len(counting_builds) == 1
+        assert first.store.stats().misses == 1
+
+        # A new session simulates a fresh process: in-memory caches are empty.
+        second = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        warm = second.select(tiny_network, "intel-haswell")
+        assert len(counting_builds) == 1  # zero additional profiling
+        assert second.store.stats().hits == 1
+        assert warm.plan.conv_selections() == cold.plan.conv_selections()
+        assert warm.total_ms == pytest.approx(cold.total_ms)
+
+    def test_entries_are_keyed_and_versioned(self, library, dt_graph, tiny_network, tmp_path):
+        session = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        session.select(tiny_network, "intel-haswell")
+        session.select(tiny_network, "arm-cortex-a57")
+        entries = session.store.entries()
+        assert len(entries) == 2
+        platforms = {entry.key.platform for entry in entries}
+        assert platforms == {"intel-haswell", "arm-cortex-a57"}
+        for entry in entries:
+            assert entry.key.provider == "analytical"
+            assert entry.key.provider_version == AnalyticalCostProvider.version
+            document = json.loads(entry.path.read_text())
+            assert document["format"] == STORE_ENTRY_FORMAT
+
+    def test_provider_version_invalidates_entries(
+        self, library, dt_graph, tiny_network, tmp_path, counting_builds
+    ):
+        class BumpedProvider(AnalyticalCostProvider):
+            version = "999-test"
+
+        first = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        first.select(tiny_network, "intel-haswell")
+        assert len(counting_builds) == 1
+
+        bumped = Session(
+            library=library,
+            dt_graph=dt_graph,
+            provider=CostStore(tmp_path, BumpedProvider()),
+        )
+        bumped.select(tiny_network, "intel-haswell")
+        # The stale v1 entry is not served for the bumped provider.
+        assert len(counting_builds) == 2
+        assert len(bumped.store.entries()) == 2
+
+    def test_clear_removes_entries(self, library, dt_graph, tiny_network, tmp_path):
+        session = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        session.select(tiny_network, "intel-haswell")
+        assert session.store.clear() == 1
+        assert session.store.entries() == []
+
+    def test_multithreaded_framework_tables_go_through_store(
+        self, library, dt_graph, tiny_network, tmp_path, counting_builds
+    ):
+        first = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        # mkldnn needs single-threaded tables on top of the 4-thread ones.
+        first.select(tiny_network, "intel-haswell", strategy="mkldnn", threads=4)
+        assert sorted(counting_builds) == [1, 4]
+        assert len(first.store.entries()) == 2
+
+        second = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        second.select(tiny_network, "intel-haswell", strategy="mkldnn", threads=4)
+        assert sorted(counting_builds) == [1, 4]  # both table sets came from disk
+
+    def test_different_library_does_not_hit_stale_entries(
+        self, library, dt_graph, tiny_network, tmp_path, counting_builds
+    ):
+        full = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        full_result = full.select(tiny_network, "intel-haswell")
+        assert len(counting_builds) == 1
+
+        # A session over a reduced library must not load the full-library
+        # tables (their node costs name primitives the session cannot run).
+        from repro.primitives.base import PrimitiveFamily
+
+        reduced_names = [
+            p.name
+            for p in library
+            if p.family in (PrimitiveFamily.SUM2D, PrimitiveFamily.IM2)
+        ]
+        reduced = Session(library=library.subset(reduced_names), cache_dir=tmp_path)
+        result = reduced.select(tiny_network, "intel-haswell")
+        assert len(counting_builds) == 2  # re-profiled, not served stale
+        chosen = set(result.plan.conv_selections().values())
+        assert chosen <= set(reduced_names)
+        assert set(full_result.plan.conv_selections().values()) - set(reduced_names)
+
+    def test_store_roundtrip_preserves_selection(self, library, dt_graph, tmp_path):
+        cold = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        cold_result = cold.select("alexnet", "intel-haswell")
+        warm = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        warm_result = warm.select("alexnet", "intel-haswell")
+        assert warm_result.plan.conv_selections() == cold_result.plan.conv_selections()
+        assert warm_result.total_ms == pytest.approx(cold_result.total_ms)
+
+
+class TestEngineShim:
+    def test_engine_is_a_session(self, library, dt_graph):
+        engine = Engine(library=library, dt_graph=dt_graph)
+        assert isinstance(engine, Session)
+
+    def test_engine_compare_keeps_registry_order(self, library, dt_graph):
+        from repro.core.strategies import applicable_strategies
+
+        engine = Engine(library=library, dt_graph=dt_graph)
+        results = engine.compare("alexnet", "intel-haswell")
+        assert isinstance(results, list)
+        expected = [
+            s.name
+            for s in applicable_strategies(
+                engine.context_for("alexnet", "intel-haswell")
+            )
+        ]
+        assert [r.strategy for r in results] == expected
+
+    def test_engine_run_end_to_end(self, library, dt_graph):
+        """Acceptance: Engine.run('alexnet', 'intel-haswell') works end-to-end."""
+        engine = Engine(library=library, dt_graph=dt_graph)
+        report = engine.run("alexnet", "intel-haswell")
+        assert isinstance(report, ExecutionReport)
+        assert report.model == "alexnet"
+        network = engine.context_for("alexnet", "intel-haswell").network
+        assert [entry.layer for entry in report.layers] == [
+            l.name for l in network.topological_order()
+        ]
+        assert all(entry.measured_ms >= 0 for entry in report.layers)
+        assert report.measured_total_ms > 0
+        assert report.output.shape == (1000, 1, 1)
+        assert report.output.sum() == pytest.approx(1.0, abs=1e-4)
+
+
+class TestSessionCLI:
+    def test_cli_select_save_then_run_plan(self, tmp_path, capsys):
+        from repro.cli import main
+
+        saved = tmp_path / "alexnet.json"
+        assert main(["select", "alexnet", "--save", str(saved)]) == 0
+        capsys.readouterr()
+        assert saved.exists()
+        assert main(["run", "alexnet", "--plan", str(saved)]) == 0
+        out = capsys.readouterr().out
+        assert "executing saved plan" in out
+        assert "Execution report" in out
+        assert "output: class" in out
+
+    def test_cli_run_with_cache_dir_populates_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = tmp_path / "cache"
+        assert main(
+            [
+                "run",
+                "alexnet",
+                "--cache-dir",
+                str(cache),
+                "--strategy",
+                "local_optimal",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Execution report" in out
+        assert len(CostStore(cache).entries()) == 1
+
+    def test_cli_cache_lists_and_clears(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache = tmp_path / "cache"
+        assert main(["select", "alexnet", "--cache-dir", str(cache)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "1 entry" in out and "alexnet" in out
+        assert main(["cache", "--cache-dir", str(cache), "--clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", str(cache)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_cli_compare_is_ranked_with_speedups(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "alexnet"]) == 0
+        out = capsys.readouterr().out
+        assert "sorted by total cost" in out
+        assert "best strategy: pbqp" in out
+        # The first data row is the fastest strategy (pbqp).
+        lines = [l for l in out.splitlines() if l and not l.startswith(("Strategy", "strategy", "-", "(", "best"))]
+        assert lines[0].startswith("pbqp")
+
+    def test_cli_run_rejects_missing_plan_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["run", "alexnet", "--plan", str(tmp_path / "missing.json")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_run_rejects_plan_for_other_network(self, tmp_path, capsys):
+        from repro.cli import main
+
+        saved = tmp_path / "alexnet.json"
+        assert main(["select", "alexnet", "--save", str(saved)]) == 0
+        capsys.readouterr()
+        code = main(["run", "vgg-a", "--plan", str(saved)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "saved for network 'alexnet'" in err and "vgg-a" in err
