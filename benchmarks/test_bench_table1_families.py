@@ -15,7 +15,7 @@ cost model over a probe-scenario sweep and asserts each cell:
 import pytest
 
 from benchmarks.conftest import emit
-from repro.experiments.family_traits import PROBE_SCENARIOS, family_traits_table
+from repro.experiments.family_traits import family_traits_table
 
 
 @pytest.fixture(scope="module")

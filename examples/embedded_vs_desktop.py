@@ -16,7 +16,6 @@ Run:  python examples/embedded_vs_desktop.py
 """
 
 from repro.api import Session
-from repro.cost.platform import PLATFORMS
 from repro.experiments.selections import alexnet_selection_comparison
 
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -188,8 +188,10 @@ class ExecutionReport:
     platform: str
     threads: int
     strategy: str
-    #: Output of the network's final layer, in canonical CHW order.
-    output: np.ndarray
+    #: Output of the network's output layer in canonical CHW order — or, for
+    #: a multi-output network, a dict mapping each output layer's name to its
+    #: CHW array (mirroring :meth:`NetworkExecutor.run_traced`).
+    output: Union[np.ndarray, Dict[str, np.ndarray]]
     #: Per-layer predicted/measured timings, in execution order.
     layers: List[LayerExecution]
     #: Number of layout-conversion chains actually executed.
@@ -333,7 +335,11 @@ class Plan:
         )
         return self._report(output, trace)
 
-    def _report(self, output: np.ndarray, trace: ExecutionTrace) -> ExecutionReport:
+    def _report(
+        self,
+        output: Union[np.ndarray, Dict[str, np.ndarray]],
+        trace: ExecutionTrace,
+    ) -> ExecutionReport:
         plan = self.network_plan
         layers = [
             LayerExecution(

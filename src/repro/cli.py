@@ -16,7 +16,9 @@ Seven subcommands cover the workflows a downstream user needs:
 
 Every selection-driving subcommand accepts ``--cache-dir PATH``: cost tables
 are then persisted in a :class:`~repro.cost.store.CostStore`, so a second
-invocation (a fresh process) skips profiling entirely.
+invocation (a fresh process) skips profiling entirely.  ``select``, ``run``
+and ``compare`` accept the network either positionally (``repro select
+alexnet``) or as ``--network alexnet``.
 
 Invoke as ``python -m repro <subcommand> ...`` (or ``repro <subcommand> ...``
 once the package is installed).
@@ -26,7 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.api import Session
 from repro.core.strategies import STRATEGIES, registered_names
@@ -40,6 +42,33 @@ from repro.experiments.whole_network import (
 )
 from repro.models import MODEL_BUILDERS
 from repro.runtime.codegen import render_schedule
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    """Positional model name plus the equivalent ``--network`` option."""
+    parser.add_argument(
+        "model",
+        nargs="?",
+        choices=sorted(MODEL_BUILDERS),
+        help="model zoo network (positional form)",
+    )
+    parser.add_argument(
+        "--network",
+        choices=sorted(MODEL_BUILDERS),
+        help="model zoo network (option form, equivalent to the positional)",
+    )
+
+
+def _resolve_model(parser: argparse.ArgumentParser, args: argparse.Namespace) -> str:
+    """The network a subcommand should operate on, from either spelling."""
+    if args.model and args.network and args.model != args.network:
+        parser.error(
+            f"conflicting networks: positional {args.model!r} vs --network {args.network!r}"
+        )
+    model = args.model or args.network
+    if not model:
+        parser.error("a network is required (positional MODEL or --network NAME)")
+    return model
 
 
 def _add_platform_argument(parser: argparse.ArgumentParser) -> None:
@@ -74,7 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     select = subparsers.add_parser("select", help="run primitive selection for a model")
-    select.add_argument("model", choices=sorted(MODEL_BUILDERS), help="model zoo network")
+    _add_model_arguments(select)
     _add_platform_argument(select)
     _add_threads_argument(select)
     _add_cache_dir_argument(select)
@@ -96,7 +125,7 @@ def build_parser() -> argparse.ArgumentParser:
     run = subparsers.add_parser(
         "run", help="plan and execute one forward pass, reporting per-layer times"
     )
-    run.add_argument("model", choices=sorted(MODEL_BUILDERS), help="model zoo network")
+    _add_model_arguments(run)
     _add_platform_argument(run)
     _add_threads_argument(run)
     _add_cache_dir_argument(run)
@@ -118,7 +147,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser(
         "compare", help="evaluate every selection strategy for one model"
     )
-    compare.add_argument("model", choices=sorted(MODEL_BUILDERS))
+    _add_model_arguments(compare)
     _add_platform_argument(compare)
     _add_threads_argument(compare)
     _add_cache_dir_argument(compare)
@@ -291,7 +320,10 @@ def _command_list(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in ("select", "run", "compare"):
+        args.model = _resolve_model(parser, args)
     handlers = {
         "select": _command_select,
         "run": _command_run,

@@ -20,7 +20,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.core.legalize import finalize_plan, fixed_layouts, follow_producer_layouts
 from repro.core.plan import NetworkPlan

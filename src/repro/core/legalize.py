@@ -16,7 +16,6 @@ tables), and assembles the resulting :class:`~repro.core.plan.NetworkPlan`.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, TYPE_CHECKING
 
 from repro.core.plan import EdgeDecision, LayerDecision, NetworkPlan
@@ -59,7 +58,7 @@ def finalize_plan(
     tables = context.tables
     library = context.library
 
-    missing = {l.name for l in network.conv_layers()} - set(conv_primitives)
+    missing = {layer.name for layer in network.conv_layers()} - set(conv_primitives)
     if missing:
         raise ValueError(f"no primitive chosen for convolution layers {sorted(missing)}")
 
@@ -111,6 +110,12 @@ def finalize_plan(
                 cost=path.cost,
             )
         )
+
+    # Multi-input layers (concat, eltwise-add) operate in exactly one layout,
+    # and because every inbound edge above targets the consumer's single
+    # input_layout, the plan built here satisfies that by construction.
+    # Hand-assembled or deserialized plans are validated where they are
+    # consumed (see NetworkExecutor.__init__).
 
     return NetworkPlan(
         network_name=network.name,

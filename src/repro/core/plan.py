@@ -11,7 +11,7 @@ every baseline strategy, so the whole evaluation compares like with like.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.layouts.layout import Layout
 from repro.layouts.transforms import TransformChain

@@ -138,7 +138,6 @@ class PBQPSelector:
         """
         network = context.network
         tables = context.tables
-        library = context.library
         layouts = context.dt_graph.layouts
 
         graph = PBQPGraph()

@@ -154,8 +154,17 @@ class AnalyticalCostModel:
             memory_seconds /= platform.mt_bandwidth_scaling
 
         # ---- fixed overhead -------------------------------------------------------
+        # Transform- and GEMM-based families dispatch once per channel group
+        # (patch-matrix construction, Winograd/FFT transforms are all set up
+        # per group), so grouped and depthwise scenarios multiply their
+        # per-call overhead; the direct loop nests fold grouping into the
+        # channel loop and are charged once.
         scalar_peak = platform.peak_gflops_per_core(1) * 1e9
-        overhead_seconds = traits.per_call_overhead_ops / scalar_peak
+        if primitive.family in (PrimitiveFamily.DIRECT, PrimitiveFamily.SUM2D):
+            call_count = 1
+        else:
+            call_count = scenario.groups
+        overhead_seconds = traits.per_call_overhead_ops * call_count / scalar_peak
 
         return max(compute_seconds, memory_seconds) + overhead_seconds
 
@@ -182,14 +191,19 @@ class AnalyticalCostModel:
             locality = min(max(locality, 0.05), 0.95)
 
         gemm_util = params.gemm_efficiency
+        # GEMM shapes are per channel group: a grouped (and especially a
+        # depthwise) convolution runs one GEMM per group over C/groups input
+        # channels, so the inner dimension the efficiency depends on shrinks
+        # accordingly.
+        group_c = scenario.c // scenario.groups
         # kn2 performs K*K skinny GEMMs whose inner dimension is the channel
         # count; few channels means poor GEMM efficiency (Table 1 "bad case").
         if family is PrimitiveFamily.KN2:
-            gemm_util *= scenario.c / (scenario.c + 48.0)
-        # im2's single GEMM has inner dimension C*K*K; only degenerate layers
-        # (tiny C and K) hurt it.
+            gemm_util *= group_c / (group_c + 48.0)
+        # im2's single GEMM has inner dimension (C/groups)*K*K; only
+        # degenerate layers (tiny C and K) hurt it.
         if family is PrimitiveFamily.IM2:
-            inner = scenario.c * scenario.k * scenario.k
+            inner = group_c * scenario.k * scenario.k
             gemm_util *= inner / (inner + 12.0)
 
         loop_util = params.loop_efficiency_base + params.loop_efficiency_locality * locality

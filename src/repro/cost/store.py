@@ -22,8 +22,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import re
+import tempfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import List, Optional, Union
@@ -224,8 +224,18 @@ class CostStore:
             "tables": cost_tables_to_dict(tables),
         }
         # Write-then-rename so a crashed process never leaves a torn entry.
-        temporary = path.with_suffix(f".tmp{os.getpid()}")
-        temporary.write_text(json.dumps(document))
+        # The temp name must be unique per *call*, not per process: two
+        # threads (e.g. select_many workers) writing the same key would
+        # interleave on a shared pid-suffixed file and rename a torn document.
+        with tempfile.NamedTemporaryFile(
+            "w",
+            dir=self.cache_dir,
+            prefix=f".{path.stem}-",
+            suffix=".tmp",
+            delete=False,
+        ) as handle:
+            temporary = Path(handle.name)
+            handle.write(json.dumps(document))
         temporary.replace(path)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -22,9 +22,8 @@ platform model or from the wall-clock profiler.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.cost.model import CostModel
 from repro.graph.network import Network

@@ -18,12 +18,16 @@ per-experiment index in DESIGN.md):
 """
 
 from repro.experiments.whole_network import (
+    EXTENDED_NETWORKS,
     WholeNetworkResult,
     run_whole_network,
     format_speedup_table,
 )
 from repro.experiments.tables import run_absolute_time_table, format_absolute_table
-from repro.experiments.selections import alexnet_selection_comparison
+from repro.experiments.selections import (
+    alexnet_selection_comparison,
+    selection_comparison,
+)
 from repro.experiments.overhead import solver_overhead_report
 from repro.experiments.family_traits import family_traits_table
 from repro.experiments.pbqp_example import figure2_example
@@ -40,6 +44,7 @@ def __getattr__(name):
 
 
 __all__ = [
+    "EXTENDED_NETWORKS",
     "WholeNetworkResult",
     "run_whole_network",
     "format_speedup_table",
@@ -47,6 +52,7 @@ __all__ = [
     "run_absolute_time_table",
     "format_absolute_table",
     "alexnet_selection_comparison",
+    "selection_comparison",
     "solver_overhead_report",
     "family_traits_table",
     "figure2_example",

@@ -17,8 +17,8 @@ Two ablations are provided:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.selector import PBQPSelector
 from repro.core.strategies import get_strategy

@@ -12,8 +12,8 @@ solution is provably optimal.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.core.selector import PBQPSelector
 from repro.cost.platform import PLATFORMS, Platform

@@ -54,6 +54,31 @@ class SelectionComparison:
         return "\n".join(lines)
 
 
+def selection_comparison(
+    network: str,
+    threads: int = 4,
+    platforms: Optional[List[Platform]] = None,
+    library: Optional[PrimitiveLibrary] = None,
+    session: Optional["Session"] = None,
+) -> SelectionComparison:
+    """The per-layer PBQP selections for one zoo network across platforms.
+
+    Figure 4 of the paper shows this comparison for AlexNet; the harness is
+    generic so the residual/depthwise zoo extensions (ResNet-18,
+    MobileNet-v1) get the same per-platform selection tables.
+    """
+    if session is None:
+        from repro.api import Session
+
+        session = Session(library=library)
+    platforms = platforms or [PLATFORMS["arm-cortex-a57"], PLATFORMS["intel-haswell"]]
+    comparison = SelectionComparison(network=network, threads=threads)
+    for platform in platforms:
+        result = session.select(network, platform, strategy="pbqp", threads=threads)
+        comparison.selections[platform.name] = result.plan.conv_selections()
+    return comparison
+
+
 def alexnet_selection_comparison(
     threads: int = 4,
     platforms: Optional[List[Platform]] = None,
@@ -61,13 +86,6 @@ def alexnet_selection_comparison(
     session: Optional["Session"] = None,
 ) -> SelectionComparison:
     """Reproduce Figure 4: the PBQP selections for AlexNet on ARM and Intel."""
-    if session is None:
-        from repro.api import Session
-
-        session = Session(library=library)
-    platforms = platforms or [PLATFORMS["arm-cortex-a57"], PLATFORMS["intel-haswell"]]
-    comparison = SelectionComparison(network="alexnet", threads=threads)
-    for platform in platforms:
-        result = session.select("alexnet", platform, strategy="pbqp", threads=threads)
-        comparison.selections[platform.name] = result.plan.conv_selections()
-    return comparison
+    return selection_comparison(
+        "alexnet", threads=threads, platforms=platforms, library=library, session=session
+    )

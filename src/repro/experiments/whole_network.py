@@ -26,7 +26,7 @@ from repro.core.strategies import (
     figure_strategy_names,
     get_strategy,
 )
-from repro.cost.platform import PLATFORMS, Platform
+from repro.cost.platform import Platform
 from repro.primitives.registry import PrimitiveLibrary
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,6 +49,14 @@ def __getattr__(name: str):
 FIGURE_NETWORKS: Dict[str, List[str]] = {
     "intel-haswell": ["alexnet", "vgg-b", "vgg-c", "vgg-e", "googlenet"],
     "arm-cortex-a57": ["alexnet", "googlenet"],
+}
+
+#: The post-paper zoo extension: residual (ResNet-18) and depthwise-separable
+#: (MobileNet-v1) networks, per platform.  Both fit on the embedded board
+#: (MobileNet was designed for it), so they run everywhere.
+EXTENDED_NETWORKS: Dict[str, List[str]] = {
+    "intel-haswell": ["resnet18", "mobilenet_v1"],
+    "arm-cortex-a57": ["resnet18", "mobilenet_v1"],
 }
 
 

@@ -11,8 +11,8 @@ semantics for shape inference and for the functional runtime in
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Sequence, Tuple
 
 from repro.graph.scenario import ConvScenario
 
@@ -29,6 +29,7 @@ class LayerKind(str, enum.Enum):
     LRN = "lrn"
     FULLY_CONNECTED = "fully_connected"
     CONCAT = "concat"
+    ELTWISE_ADD = "eltwise_add"
     DROPOUT = "dropout"
     SOFTMAX = "softmax"
     FLATTEN = "flatten"
@@ -236,6 +237,34 @@ class ConcatLayer(Layer):
             )
         channels = sum(s[0] for s in input_shapes)
         return (channels, heights.pop(), widths.pop())
+
+
+@dataclass
+class EltwiseAddLayer(Layer):
+    """Elementwise tensor addition (the join of ResNet residual blocks).
+
+    Unlike :class:`ConcatLayer`, every input must have the *same* shape — the
+    inputs are summed, not stacked.  Like concat it is a multi-input dummy
+    node for the selection formulation, but it is the structure that makes
+    residual networks DAG-shaped: the block input fans out to the convolution
+    path and the identity/shortcut path, and both must agree on a layout (or
+    pay a conversion) where they rejoin.
+    """
+
+    @property
+    def kind(self) -> LayerKind:
+        return LayerKind.ELTWISE_ADD
+
+    def arity(self) -> Tuple[int, int]:
+        return (2, -1)
+
+    def output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        distinct = set(input_shapes)
+        if len(distinct) != 1:
+            raise ValueError(
+                f"eltwise-add layer {self.name!r} inputs disagree on shape: {input_shapes}"
+            )
+        return distinct.pop()
 
 
 @dataclass

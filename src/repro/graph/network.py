@@ -11,8 +11,8 @@ execution order), validation, and static shape inference — possible because
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.layer import ConvLayer, InputLayer, Layer
 from repro.graph.scenario import ConvScenario

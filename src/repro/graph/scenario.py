@@ -105,6 +105,23 @@ class ConvScenario:
         """Whether this is a 1x1 convolution."""
         return self.k == 1
 
+    @property
+    def is_grouped(self) -> bool:
+        """Whether the channels are partitioned into more than one group."""
+        return self.groups > 1
+
+    @property
+    def is_depthwise(self) -> bool:
+        """Whether this is a depthwise convolution (one input channel per group).
+
+        MobileNet-style depthwise-separable blocks use ``groups == C`` so each
+        filter sees a single input feature map.  Several primitive families
+        degenerate on this shape (their channel-reduction GEMM collapses to
+        scalar work) and must *decline* such scenarios rather than miscost
+        them.
+        """
+        return self.groups > 1 and self.groups == self.c
+
     # -- work estimates -------------------------------------------------------
 
     def macs(self) -> int:

@@ -18,7 +18,7 @@ maintains a registry of the standard layouts used by the primitive library.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 #: The three logical axes of a feature-map tensor.

@@ -1,18 +1,24 @@
-"""Model zoo: the networks used in the paper's evaluation.
+"""Model zoo: the paper's evaluation networks plus the post-paper extensions.
 
 The paper evaluates AlexNet, the VGG family and GoogLeNet using the public
 model definitions (BVLC Caffe Model Zoo / the original publications).  The
 builders here reconstruct those graphs layer-by-layer from the publications,
 which is sufficient for the reproduction because the selection formulation
-consumes only layer shapes and connectivity.
+consumes only layer shapes and connectivity.  Beyond the paper's three
+families the zoo also carries ResNet-18 (residual joins: multi-input
+eltwise-add DAGs) and MobileNet-v1 (depthwise-separable convolutions), which
+exercise graph structures and primitive capability gaps the paper's networks
+do not.
 """
 
 from repro.models.alexnet import build_alexnet
 from repro.models.vgg import build_vgg, VGG_CONFIGS
 from repro.models.googlenet import build_googlenet
+from repro.models.mobilenet_v1 import build_mobilenet_v1
+from repro.models.resnet18 import build_resnet18
 
-#: Builders for every model used in the evaluation, keyed by the names the
-#: paper's figures use.
+#: Builders for every model of the zoo, keyed by canonical lowercase name;
+#: the first seven are the networks of the paper's figures.
 MODEL_BUILDERS = {
     "alexnet": build_alexnet,
     "vgg-a": lambda: build_vgg("A"),
@@ -21,6 +27,8 @@ MODEL_BUILDERS = {
     "vgg-d": lambda: build_vgg("D"),
     "vgg-e": lambda: build_vgg("E"),
     "googlenet": build_googlenet,
+    "resnet18": build_resnet18,
+    "mobilenet_v1": build_mobilenet_v1,
 }
 
 
@@ -39,6 +47,8 @@ __all__ = [
     "build_alexnet",
     "build_vgg",
     "build_googlenet",
+    "build_resnet18",
+    "build_mobilenet_v1",
     "build_model",
     "MODEL_BUILDERS",
     "VGG_CONFIGS",

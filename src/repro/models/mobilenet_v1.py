@@ -1,0 +1,115 @@
+"""MobileNet-v1 (Howard et al., 2017): the depthwise-separable model of the zoo.
+
+Every standard convolution after the stem is factored into a depthwise 3x3
+convolution (``groups == C``: one filter per input feature map) followed by a
+pointwise 1x1 convolution that mixes channels.  Depthwise scenarios are the
+stress test of the primitive layer's capability model: the GEMM-based kn2 and
+the FFT families decline them outright (their channel-reduction structure
+degenerates), so the selector must work with the reduced candidate set and
+the per-group overheads the cost model charges the transform-based families.
+
+Batch normalization is folded into the preceding convolution, as everywhere
+in this zoo.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.layer import (
+    ConvLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    PoolLayer,
+    PoolMode,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.graph.network import Network
+
+#: (pointwise out_channels, depthwise stride) of the 13 separable blocks
+#: (Table 1 of the MobileNet paper).
+MOBILENET_V1_BLOCKS: List[Tuple[int, int]] = [
+    (64, 1),
+    (128, 2),
+    (128, 1),
+    (256, 2),
+    (256, 1),
+    (512, 2),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (512, 1),
+    (1024, 2),
+    (1024, 1),
+]
+
+
+def _scaled(channels: int, width_multiplier: float) -> int:
+    """Apply the paper's width multiplier ``alpha`` to a channel count."""
+    return max(int(channels * width_multiplier), 1)
+
+
+def build_mobilenet_v1(input_size: int = 224, width_multiplier: float = 1.0) -> Network:
+    """Build the MobileNet-v1 inference graph.
+
+    Parameters
+    ----------
+    input_size:
+        Spatial size of the (square) RGB input; must be a multiple of 32 so
+        the five stride-2 reductions land on integer feature-map sizes.
+    width_multiplier:
+        The paper's ``alpha``: uniformly thins every layer's channel count
+        (the publication evaluates 1.0, 0.75, 0.5 and 0.25).  Small values
+        give faithfully shaped but cheap networks for functional tests.
+    """
+    if input_size % 32 != 0:
+        raise ValueError(f"input_size must be a multiple of 32, got {input_size}")
+    if width_multiplier <= 0:
+        raise ValueError(f"width_multiplier must be > 0, got {width_multiplier}")
+    net = Network("mobilenet_v1")
+    net.add_layer(InputLayer("data", shape=(3, input_size, input_size)))
+
+    channels = _scaled(32, width_multiplier)
+    net.add_layer(
+        ConvLayer("conv1", out_channels=channels, kernel=3, stride=2, padding=1), ["data"]
+    )
+    net.add_layer(ReLULayer("conv1_relu"), ["conv1"])
+
+    source = "conv1_relu"
+    for index, (out_channels, stride) in enumerate(MOBILENET_V1_BLOCKS, start=2):
+        name = f"conv{index}"
+        # Depthwise 3x3: one single-channel filter per input feature map.
+        net.add_layer(
+            ConvLayer(
+                f"{name}/dw",
+                out_channels=channels,
+                kernel=3,
+                stride=stride,
+                padding=1,
+                groups=channels,
+            ),
+            [source],
+        )
+        net.add_layer(ReLULayer(f"{name}/dw_relu"), [f"{name}/dw"])
+        # Pointwise 1x1: mixes channels, sets the block's output width.
+        channels = _scaled(out_channels, width_multiplier)
+        net.add_layer(
+            ConvLayer(f"{name}/sep", out_channels=channels, kernel=1, stride=1),
+            [f"{name}/dw_relu"],
+        )
+        net.add_layer(ReLULayer(f"{name}/sep_relu"), [f"{name}/sep"])
+        source = f"{name}/sep_relu"
+
+    final_size = input_size // 32
+    net.add_layer(
+        PoolLayer("pool6", kernel=final_size, stride=1, mode=PoolMode.AVERAGE), [source]
+    )
+    net.add_layer(FlattenLayer("flatten"), ["pool6"])
+    net.add_layer(FullyConnectedLayer("fc", out_features=1000), ["flatten"])
+    net.add_layer(SoftmaxLayer("prob"), ["fc"])
+
+    net.validate()
+    return net

@@ -1,0 +1,116 @@
+"""ResNet-18 (He et al., 2016): the residual model of the zoo.
+
+The residual connection is the structural novelty this builder adds to the
+zoo: every basic block's input fans out to the convolution path and the
+identity (or 1x1-projection) shortcut, and the two paths rejoin in an
+:class:`~repro.graph.layer.EltwiseAddLayer`.  Like the inception module of
+the primitive-selection paper's Figure 3, this makes per-edge layout
+decisions interact — the PBQP formulation must keep both paths of every
+block layout-consistent or pay for conversions at the join.
+
+Batch normalization is folded into the preceding convolution (the standard
+inference-time transformation), so the graph carries no separate BN nodes —
+consistent with the zoo's other builders, which model inference graphs only.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.layer import (
+    ConvLayer,
+    EltwiseAddLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    PoolLayer,
+    PoolMode,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.graph.network import Network
+
+#: (stage name, out_channels multiplier, blocks, first-block stride) per stage.
+RESNET18_STAGES: List[Tuple[str, int, int, int]] = [
+    ("conv2", 1, 2, 1),
+    ("conv3", 2, 2, 2),
+    ("conv4", 4, 2, 2),
+    ("conv5", 8, 2, 2),
+]
+
+
+def _add_basic_block(
+    net: Network, name: str, source: str, channels: int, stride: int
+) -> str:
+    """Add one residual basic block; returns the name of its output layer."""
+    net.add_layer(
+        ConvLayer(f"{name}/conv1", out_channels=channels, kernel=3, stride=stride, padding=1),
+        [source],
+    )
+    net.add_layer(ReLULayer(f"{name}/relu1"), [f"{name}/conv1"])
+    net.add_layer(
+        ConvLayer(f"{name}/conv2", out_channels=channels, kernel=3, stride=1, padding=1),
+        [f"{name}/relu1"],
+    )
+    if stride != 1:
+        # Projection shortcut: a 1x1 stride-matched convolution aligns the
+        # identity path's shape with the convolution path's.
+        net.add_layer(
+            ConvLayer(f"{name}/downsample", out_channels=channels, kernel=1, stride=stride),
+            [source],
+        )
+        shortcut = f"{name}/downsample"
+    else:
+        shortcut = source
+    net.add_layer(EltwiseAddLayer(f"{name}/add"), [f"{name}/conv2", shortcut])
+    net.add_layer(ReLULayer(f"{name}/relu2"), [f"{name}/add"])
+    return f"{name}/relu2"
+
+
+def build_resnet18(input_size: int = 224, base_width: int = 64) -> Network:
+    """Build the ResNet-18 inference graph.
+
+    Parameters
+    ----------
+    input_size:
+        Spatial size of the (square) RGB input; must be a multiple of 32 so
+        the five stride-2 reductions land on integer feature-map sizes.
+    base_width:
+        Channel count of the first stage (64 in the publication).  Smaller
+        values give faithfully shaped but cheap networks for functional
+        tests.
+    """
+    if input_size % 32 != 0:
+        raise ValueError(f"input_size must be a multiple of 32, got {input_size}")
+    if base_width < 1:
+        raise ValueError(f"base_width must be >= 1, got {base_width}")
+    net = Network("resnet18")
+    net.add_layer(InputLayer("data", shape=(3, input_size, input_size)))
+
+    net.add_layer(
+        ConvLayer("conv1", out_channels=base_width, kernel=7, stride=2, padding=3),
+        ["data"],
+    )
+    net.add_layer(ReLULayer("conv1_relu"), ["conv1"])
+    net.add_layer(
+        PoolLayer("pool1", kernel=3, stride=2, padding=1, mode=PoolMode.MAX, ceil_mode=False),
+        ["conv1_relu"],
+    )
+
+    source = "pool1"
+    for stage_name, multiplier, blocks, first_stride in RESNET18_STAGES:
+        channels = base_width * multiplier
+        for index in range(1, blocks + 1):
+            stride = first_stride if index == 1 else 1
+            source = _add_basic_block(net, f"{stage_name}_{index}", source, channels, stride)
+
+    final_size = input_size // 32
+    net.add_layer(
+        PoolLayer("pool5", kernel=final_size, stride=1, mode=PoolMode.AVERAGE), [source]
+    )
+    net.add_layer(FlattenLayer("flatten"), ["pool5"])
+    net.add_layer(FullyConnectedLayer("fc", out_features=1000), ["flatten"])
+    net.add_layer(SoftmaxLayer("prob"), ["fc"])
+
+    net.validate()
+    return net

@@ -12,7 +12,7 @@ a 1x1 convolution; all other convolutions are 3x3 with padding 1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from repro.graph.layer import (
     ConvLayer,

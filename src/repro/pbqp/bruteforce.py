@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.pbqp.graph import PBQPGraph
 from repro.pbqp.solution import PBQPSolution

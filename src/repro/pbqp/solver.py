@@ -19,11 +19,10 @@ irreducible core is empty or tiny, so the same holds here.
 
 from __future__ import annotations
 
-import itertools
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -210,24 +210,41 @@ class ConvPrimitive:
         padded, inner = _pad_scenario(x_chw, scenario)
         if scenario.groups == 1:
             return self._compute(padded, kernel, inner)
+        if inner.is_depthwise and inner.m == inner.c:
+            fast = self._compute_depthwise(padded, kernel, inner)
+            if fast is not None:
+                return fast
         group_c = scenario.c // scenario.groups
         group_m = scenario.m // scenario.groups
+        sub_scenario = ConvScenario(
+            c=group_c,
+            h=inner.h,
+            w=inner.w,
+            stride=inner.stride,
+            k=inner.k,
+            m=group_m,
+            padding=0,
+            groups=1,
+        )
         outputs = []
         for g in range(scenario.groups):
-            sub_scenario = ConvScenario(
-                c=group_c,
-                h=inner.h,
-                w=inner.w,
-                stride=inner.stride,
-                k=inner.k,
-                m=group_m,
-                padding=0,
-                groups=1,
-            )
             x_group = padded[g * group_c : (g + 1) * group_c]
             k_group = kernel[g * group_m : (g + 1) * group_m]
             outputs.append(self._compute(x_group, k_group, sub_scenario))
         return np.concatenate(outputs, axis=0)
+
+    def _compute_depthwise(
+        self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario
+    ) -> Optional[np.ndarray]:
+        """Optional batched path for depthwise scenarios (``groups == c == m``).
+
+        ``x_chw`` is already padded, ``scenario`` has ``padding=0`` and the
+        kernel has shape ``(C, 1, K, K)``.  Families whose loop structure
+        vectorizes naturally across channels override this; the ``None``
+        default falls back to the generic per-group loop, which is correct for
+        every family but pays Python-loop overhead once per channel.
+        """
+        return None
 
     def _compute(
         self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario
@@ -245,6 +262,33 @@ class ConvPrimitive:
             f"{type(self).__name__}(name={self.name!r}, "
             f"{self.input_layout.name}->{self.output_layout.name}, vf={self.vector_factor})"
         )
+
+
+def depthwise_shifted_accumulation(
+    x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario
+) -> np.ndarray:
+    """Depthwise convolution by shifted-window accumulation over all channels.
+
+    The common loop structure of the direct/sum2d depthwise paths: no channel
+    reduction, one scaled window accumulation per kernel offset, vectorized
+    across every feature map at once.  ``x_chw`` is already padded,
+    ``scenario`` has ``padding=0`` and ``groups == c == m``; the kernel has
+    shape ``(C, 1, K, K)``.
+    """
+    stride, k = scenario.stride, scenario.k
+    out_h, out_w = scenario.out_h, scenario.out_w
+    x64 = x_chw.astype(np.float64, copy=False)
+    kernel64 = kernel.astype(np.float64, copy=False)
+    out = np.zeros(scenario.output_shape, dtype=np.float64)
+    for kh in range(k):
+        for kw in range(k):
+            window = x64[
+                :,
+                kh : kh + (out_h - 1) * stride + 1 : stride,
+                kw : kw + (out_w - 1) * stride + 1 : stride,
+            ]
+            out += kernel64[:, 0, kh, kw][:, None, None] * window
+    return out
 
 
 def _pad_scenario(

@@ -14,13 +14,18 @@ the mathematics.  Strided convolution is the family's strength (Table 1).
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict
 
 import numpy as np
 
 from repro.graph.scenario import ConvScenario
 from repro.layouts.layout import Layout, CHW
-from repro.primitives.base import ConvPrimitive, PrimitiveFamily, PrimitiveTraits
+from repro.primitives.base import (
+    ConvPrimitive,
+    PrimitiveFamily,
+    PrimitiveTraits,
+    depthwise_shifted_accumulation,
+)
 
 #: Locality scores of the supported loop orders.  Orders that keep the spatial
 #: loops innermost stream through the image with unit stride; orders that put
@@ -81,8 +86,13 @@ class DirectLoopPrimitive(ConvPrimitive):
         )
 
     def supports(self, scenario: ConvScenario) -> bool:
-        # The direct loop nest handles every scenario, including strided ones.
+        # The direct loop nest handles every scenario, including strided and
+        # depthwise ones (the channel loop simply collapses per group).
         return True
+
+    def _compute_depthwise(self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario) -> np.ndarray:
+        """Depthwise form of the loop nest: no channel reduction, vectorized per map."""
+        return depthwise_shifted_accumulation(x_chw, kernel, scenario)
 
     def _compute(self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario) -> np.ndarray:
         """Direct convolution via shifted-slice accumulation.

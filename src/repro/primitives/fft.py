@@ -22,7 +22,7 @@ import math
 import numpy as np
 
 from repro.graph.scenario import ConvScenario
-from repro.layouts.layout import CHW, HWC, Layout
+from repro.layouts.layout import CHW, Layout
 from repro.primitives.base import ConvPrimitive, PrimitiveFamily, PrimitiveTraits
 
 
@@ -39,8 +39,12 @@ class _FFTBase(ConvPrimitive):
 
     def supports(self, scenario: ConvScenario) -> bool:
         # Strided convolution would waste most of the transformed output;
-        # like the paper's implementation we only offer unit stride.
-        return scenario.stride == 1
+        # like the paper's implementation we only offer unit stride.  Depthwise
+        # scenarios are declined too: with a single input channel per group
+        # there is no channel accumulation to amortize the spectra over, and a
+        # separate FFT plan per group would have to be set up and torn down —
+        # the implementation provides no such kernel.
+        return scenario.stride == 1 and not scenario.is_depthwise
 
     def traits(self) -> PrimitiveTraits:
         return PrimitiveTraits(

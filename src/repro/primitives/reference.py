@@ -14,7 +14,12 @@ import numpy as np
 
 from repro.graph.scenario import ConvScenario
 from repro.layouts.layout import CHW
-from repro.primitives.base import ConvPrimitive, PrimitiveFamily, PrimitiveTraits
+from repro.primitives.base import (
+    ConvPrimitive,
+    PrimitiveFamily,
+    PrimitiveTraits,
+    depthwise_shifted_accumulation,
+)
 
 
 def reference_convolution(
@@ -91,6 +96,10 @@ class Sum2DPrimitive(ConvPrimitive):
             parallel_efficiency=0.70,
             per_call_overhead_ops=2_000.0,
         )
+
+    def _compute_depthwise(self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario) -> np.ndarray:
+        """Depthwise sum2d: each output map is one single-channel 2D convolution."""
+        return depthwise_shifted_accumulation(x_chw, kernel, scenario)
 
     def _compute(self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario) -> np.ndarray:
         out = np.zeros(scenario.output_shape, dtype=np.float64)

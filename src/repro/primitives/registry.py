@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.graph.scenario import ConvScenario
-from repro.layouts.layout import CHW, CHW4c, CHW8c, HCW, HWC, HWC4c, HWC8c, Layout
+from repro.layouts.layout import CHW, CHW4c, CHW8c, HCW, HWC, Layout
 from repro.primitives.base import ConvPrimitive, PrimitiveFamily
 from repro.primitives.direct import DirectLoopPrimitive
 from repro.primitives.fft import FFT1DPrimitive, FFT2DPrimitive

@@ -30,7 +30,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.graph.scenario import ConvScenario
-from repro.layouts.layout import CHW, CHW4c, CHW8c, HCW, Layout
+from repro.layouts.layout import CHW, HCW, Layout
 from repro.primitives.base import ConvPrimitive, PrimitiveFamily, PrimitiveTraits
 
 #: Interpolation points used by the Cook–Toom construction, in the order they
@@ -76,7 +76,7 @@ def winograd_matrices(m: int, r: int) -> Tuple[np.ndarray, np.ndarray, np.ndarra
 
     # f_j = prod_{l != j} (a_j - a_l): the Lagrange denominator of each point.
     f = np.array(
-        [np.prod([points[j] - points[l] for l in range(n - 1) if l != j]) for j in range(n - 1)]
+        [np.prod([points[j] - points[q] for q in range(n - 1) if q != j]) for j in range(n - 1)]
     )
 
     # A^T (m x n): evaluation of the output polynomial at the points, plus the
@@ -345,7 +345,6 @@ class Winograd1DPrimitive(_WinogradBase):
         u_rows = np.einsum("ij,mckj->kmci", g, kernel64, optimize=True)
 
         out = np.zeros((scenario.m, out_h, out_w), dtype=np.float64)
-        padded_w = x64.shape[2]
         for kh in range(r):
             # Rows of the input that align with output rows for this kernel row.
             slab = x64[:, kh : kh + out_h, :]  # (C, out_h, padded_w)

@@ -12,7 +12,7 @@ region").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.core.plan import NetworkPlan
 from repro.graph.network import Network

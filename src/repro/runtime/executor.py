@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -21,6 +21,7 @@ from repro.graph.layer import (
     ConcatLayer,
     ConvLayer,
     DropoutLayer,
+    EltwiseAddLayer,
     FlattenLayer,
     FullyConnectedLayer,
     InputLayer,
@@ -31,7 +32,6 @@ from repro.graph.layer import (
     SoftmaxLayer,
 )
 from repro.graph.network import Network
-from repro.layouts.layout import CHW
 from repro.layouts.tensor import LayoutTensor
 from repro.primitives.registry import PrimitiveLibrary
 from repro.runtime import reference_ops
@@ -96,22 +96,62 @@ class NetworkExecutor:
         self._edge_chain = {
             (edge.producer, edge.consumer): edge for edge in plan.edge_decisions
         }
+        self._validate_multi_input_layouts()
+
+    def _validate_multi_input_layouts(self) -> None:
+        """Every inbound edge of a multi-input layer must deliver one layout.
+
+        Plans built by :func:`~repro.core.legalize.finalize_plan` satisfy this
+        by construction; this guards hand-assembled or deserialized plans,
+        whose edge decisions arrive here unchecked.  A concat or eltwise-add
+        fed two different layouts would silently mix physical orders.
+        """
+        for layer in self.network.layers():
+            producers = self.network.inputs_of(layer.name)
+            if len(producers) < 2:
+                continue
+            targets = {
+                self._edge_chain[(producer, layer.name)].target_layout.name
+                for producer in producers
+            }
+            if len(targets) > 1:
+                raise ValueError(
+                    f"plan is inconsistent: multi-input layer {layer.name!r} has "
+                    f"inbound edges targeting different layouts {sorted(targets)}"
+                )
 
     # -- execution --------------------------------------------------------------
 
-    def run(self, input_chw: np.ndarray, keep_outputs: bool = False) -> np.ndarray:
-        """Execute one forward pass and return the output of the last layer."""
+    def run(
+        self, input_chw: np.ndarray, keep_outputs: bool = False
+    ) -> Union[np.ndarray, Dict[str, np.ndarray]]:
+        """Execute one forward pass and return the network output.
+
+        For a single-output network this is that output's CHW array; for a
+        multi-output network it is a dict keyed by output layer name (see
+        :meth:`run_traced`).
+        """
         result, _ = self.run_traced(input_chw, keep_outputs=keep_outputs)
         return result
 
     def run_traced(
         self, input_chw: np.ndarray, keep_outputs: bool = False
-    ) -> tuple[np.ndarray, ExecutionTrace]:
-        """Execute one forward pass, returning the output and an execution trace."""
+    ) -> tuple[Union[np.ndarray, Dict[str, np.ndarray]], ExecutionTrace]:
+        """Execute one forward pass, returning the output and an execution trace.
+
+        A single-output network returns its output array directly (the common
+        fast path); a multi-output network returns ``{layer name: output}``
+        covering *every* output layer, so no result is silently dropped.
+        """
         input_chw = np.asarray(input_chw, dtype=np.float32)
         trace = ExecutionTrace()
         start = time.perf_counter()
         tensors: Dict[str, LayoutTensor] = {}
+        # A producer feeding several consumers that demand the same target
+        # layout has its conversion chain executed once and the result reused;
+        # keyed by (producer, target layout) since every edge leaving one
+        # producer starts from the same source layout.
+        converted: Dict[Tuple[str, str], LayoutTensor] = {}
 
         for layer in self.network.topological_order():
             decision = self.plan.decision(layer.name)
@@ -120,12 +160,20 @@ class NetworkExecutor:
                 edge = self._edge_chain[(producer, layer.name)]
                 tensor = tensors[producer]
                 if edge.needs_conversion:
-                    convert_start = time.perf_counter()
-                    tensor = edge.chain.apply(tensor)
-                    trace.conversion_seconds[(producer, layer.name)] = (
-                        time.perf_counter() - convert_start
-                    )
-                    trace.conversions_executed += 1
+                    cache_key = (producer, edge.target_layout.name)
+                    cached = converted.get(cache_key)
+                    if cached is None:
+                        convert_start = time.perf_counter()
+                        tensor = edge.chain.apply(tensor)
+                        trace.conversion_seconds[(producer, layer.name)] = (
+                            time.perf_counter() - convert_start
+                        )
+                        trace.conversions_executed += 1
+                        converted[cache_key] = tensor
+                    else:
+                        # Reused conversion: nothing ran, so the trace gets no
+                        # (producer, consumer) timing entry for this edge.
+                        tensor = cached
                 inputs.append(tensor)
 
             layer_start = time.perf_counter()
@@ -152,7 +200,12 @@ class NetworkExecutor:
                 trace.outputs[layer.name] = output.to_chw()
 
         outputs = self.network.output_layers()
-        final = tensors[outputs[-1].name].to_chw()
+        if len(outputs) == 1:
+            final: Union[np.ndarray, Dict[str, np.ndarray]] = tensors[
+                outputs[0].name
+            ].to_chw()
+        else:
+            final = {layer.name: tensors[layer.name].to_chw() for layer in outputs}
         trace.wall_seconds = time.perf_counter() - start
         return final, trace
 
@@ -180,6 +233,8 @@ class NetworkExecutor:
             return reference_ops.fully_connected(inputs[0], weights, bias)
         if isinstance(layer, ConcatLayer):
             return reference_ops.concat_channels(inputs)
+        if isinstance(layer, EltwiseAddLayer):
+            return reference_ops.eltwise_add(inputs)
         if isinstance(layer, DropoutLayer):
             return inputs[0]
         if isinstance(layer, SoftmaxLayer):

@@ -107,6 +107,20 @@ def concat_channels(inputs: Sequence[np.ndarray]) -> np.ndarray:
     return np.concatenate(list(inputs), axis=0)
 
 
+def eltwise_add(inputs: Sequence[np.ndarray]) -> np.ndarray:
+    """Elementwise sum of same-shape tensors (the residual join)."""
+    inputs = list(inputs)
+    if len(inputs) < 2:
+        raise ValueError(f"eltwise add needs at least two inputs, got {len(inputs)}")
+    shapes = {tensor.shape for tensor in inputs}
+    if len(shapes) != 1:
+        raise ValueError(f"eltwise add inputs disagree on shape: {sorted(shapes)}")
+    out = inputs[0].copy()
+    for tensor in inputs[1:]:
+        out += tensor
+    return out
+
+
 def flatten(x: np.ndarray) -> np.ndarray:
     """Flatten to a ``(C*H*W, 1, 1)`` tensor."""
     return x.reshape(-1, 1, 1)

@@ -1,12 +1,11 @@
 """Tests for the analytical cost model, the wall-clock profiler and cost tables."""
 
-import dataclasses
 
 import numpy as np
 import pytest
 
 from repro.cost.analytical import AnalyticalCostModel, ModelParameters
-from repro.cost.platform import PLATFORMS, Platform, arm_cortex_a57, intel_haswell
+from repro.cost.platform import PLATFORMS, arm_cortex_a57, intel_haswell
 from repro.cost.profiler import WallClockProfiler
 from repro.cost.tables import build_cost_tables
 from repro.graph.scenario import ConvScenario
@@ -162,7 +161,7 @@ class TestWallClockProfiler:
 class TestCostTables:
     def test_tables_for_tiny_network(self, tiny_network, library, dt_graph, intel_cost_model):
         tables = build_cost_tables(tiny_network, library, dt_graph, intel_cost_model, threads=1)
-        assert set(tables.layers()) == {l.name for l in tiny_network.conv_layers()}
+        assert set(tables.layers()) == {layer.name for layer in tiny_network.conv_layers()}
         # Every conv layer has at least the sum2d fallback plus GEMM variants.
         for layer, costs in tables.node_costs.items():
             assert "sum2d" in costs

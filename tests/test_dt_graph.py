@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.layouts.dt_graph import DTGraph, element_traffic_cost
-from repro.layouts.layout import CHW, CHW8c, HCW, HWC, HWC8c, WHC, STANDARD_LAYOUTS
+from repro.layouts.layout import CHW, CHW8c, HWC, HWC8c, WHC, STANDARD_LAYOUTS
 from repro.layouts.transforms import LayoutTransform, default_transform_library
 
 
@@ -39,7 +39,7 @@ class TestStructure:
 
     def test_layouts_from_transforms_added_automatically(self):
         graph = DTGraph([], [LayoutTransform(CHW, HWC)])
-        assert {l.name for l in graph.layouts} == {"CHW", "HWC"}
+        assert {layout.name for layout in graph.layouts} == {"CHW", "HWC"}
 
 
 class TestReachability:

@@ -5,13 +5,12 @@ the qualitative claims of the evaluation section is asserted against the
 analytical platform model.
 """
 
-import math
 
 import pytest
 
 from repro.cost.platform import PLATFORMS
 from repro.experiments.ablation import dt_cost_ablation, solver_mode_ablation
-from repro.experiments.family_traits import FAMILIES, PROBE_SCENARIOS, family_traits_table
+from repro.experiments.family_traits import PROBE_SCENARIOS, family_traits_table
 from repro.experiments.overhead import format_overhead_report, solver_overhead_report
 from repro.experiments.pbqp_example import figure2_example
 from repro.experiments.selections import alexnet_selection_comparison

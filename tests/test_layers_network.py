@@ -6,6 +6,7 @@ from repro.graph.layer import (
     ConcatLayer,
     ConvLayer,
     DropoutLayer,
+    EltwiseAddLayer,
     FlattenLayer,
     FullyConnectedLayer,
     InputLayer,
@@ -86,6 +87,65 @@ class TestLayerShapes:
     def test_fc_macs(self):
         fc = FullyConnectedLayer("fc", out_features=10)
         assert fc.macs((4, 2, 2)) == 4 * 2 * 2 * 10
+
+    def test_eltwise_add_preserves_shape(self):
+        add = EltwiseAddLayer("add")
+        assert add.kind is LayerKind.ELTWISE_ADD
+        assert add.arity() == (2, -1)
+        assert add.output_shape([(64, 28, 28), (64, 28, 28)]) == (64, 28, 28)
+        assert add.output_shape([(8, 4, 4)] * 3) == (8, 4, 4)
+
+    def test_eltwise_add_rejects_mismatched_shapes(self):
+        add = EltwiseAddLayer("add")
+        with pytest.raises(ValueError):
+            add.output_shape([(64, 28, 28), (32, 28, 28)])
+        with pytest.raises(ValueError):
+            add.output_shape([(64, 28, 28), (64, 14, 14)])
+
+    def test_eltwise_add_arity_enforced_in_network(self):
+        net = Network("n")
+        net.add_layer(InputLayer("data", shape=(4, 8, 8)))
+        with pytest.raises(NetworkValidationError):
+            net.add_layer(EltwiseAddLayer("add"), ["data"])
+
+
+class TestPoolGeometryEdgeCases:
+    """The ceil/padding clipping branch of :meth:`PoolLayer._pooled`."""
+
+    def test_ceil_mode_clips_window_starting_in_the_padding(self):
+        # 13 -> padded 13+2*1: ceil((13 + 2 - 3) / 2) + 1 = 7 + 1 = 8, but the
+        # 8th window would start at offset 14 >= 13 + 1, outside the real
+        # input — Caffe clips it back to 7.
+        pool = PoolLayer("pool", kernel=3, stride=2, padding=1)
+        assert pool.output_shape([(8, 13, 13)])[1:] == (7, 7)
+
+    def test_clipping_only_applies_with_padding(self):
+        # Without padding the same geometry keeps the ceil-rounded extra
+        # window (it covers real input rows).
+        pool = PoolLayer("pool", kernel=3, stride=2, padding=0)
+        assert pool.output_shape([(8, 13, 13)])[1:] == (6, 6)
+        assert pool.output_shape([(8, 14, 14)])[1:] == (7, 7)
+
+    def test_global_pool_collapses_to_one_pixel(self):
+        pool = PoolLayer("pool", kernel=7, stride=1, mode=PoolMode.AVERAGE)
+        assert pool.output_shape([(1024, 7, 7)]) == (1024, 1, 1)
+        floor_pool = PoolLayer("pool", kernel=7, stride=1, ceil_mode=False)
+        assert floor_pool.output_shape([(512, 7, 7)]) == (512, 1, 1)
+
+    def test_kernel_larger_than_input_is_floored_to_one(self):
+        pool = PoolLayer("pool", kernel=5, stride=2, ceil_mode=False)
+        assert pool.output_shape([(4, 3, 3)]) == (4, 1, 1)
+
+    def test_ceil_and_floor_disagree_on_odd_remainders(self):
+        ceil_pool = PoolLayer("pool", kernel=3, stride=2, ceil_mode=True)
+        floor_pool = PoolLayer("pool", kernel=3, stride=2, ceil_mode=False)
+        # 10 - 3 = 7: ceil(7/2)+1 = 5, floor(7/2)+1 = 4.
+        assert ceil_pool.output_shape([(4, 10, 10)])[1:] == (5, 5)
+        assert floor_pool.output_shape([(4, 10, 10)])[1:] == (4, 4)
+
+    def test_rectangular_inputs_pool_per_axis(self):
+        pool = PoolLayer("pool", kernel=3, stride=2, padding=1)
+        assert pool.output_shape([(8, 13, 14)]) == (8, 7, 8)
 
 
 class TestNetwork:

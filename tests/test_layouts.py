@@ -11,7 +11,6 @@ from repro.layouts.layout import (
     CHW8c,
     HCW,
     HWC,
-    HWC4c,
     HWC8c,
     WHC,
     STANDARD_LAYOUTS,

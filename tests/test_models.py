@@ -2,8 +2,16 @@
 
 import pytest
 
-from repro.graph.layer import ConvLayer
-from repro.models import MODEL_BUILDERS, build_alexnet, build_googlenet, build_model, build_vgg
+from repro.graph.layer import EltwiseAddLayer
+from repro.models import (
+    MODEL_BUILDERS,
+    build_alexnet,
+    build_googlenet,
+    build_mobilenet_v1,
+    build_model,
+    build_resnet18,
+    build_vgg,
+)
 from repro.models.googlenet import INCEPTION_SPECS
 
 
@@ -143,3 +151,106 @@ class TestGoogLeNet:
         network = build_googlenet()
         fanouts = [len(network.consumers_of(name)) for name in network.layer_names()]
         assert max(fanouts) >= 4
+
+
+class TestResNet18:
+    def test_conv_layer_count(self):
+        # 1 stem + 8 basic blocks x 2 convolutions + 3 projection shortcuts.
+        assert len(build_resnet18().conv_layers()) == 20
+
+    def test_published_feature_map_pyramid(self):
+        shapes = build_resnet18().infer_shapes()
+        assert shapes["conv1"] == (64, 112, 112)
+        assert shapes["pool1"] == (64, 56, 56)
+        assert shapes["conv2_2/relu2"] == (64, 56, 56)
+        assert shapes["conv3_2/relu2"] == (128, 28, 28)
+        assert shapes["conv4_2/relu2"] == (256, 14, 14)
+        assert shapes["conv5_2/relu2"] == (512, 7, 7)
+        assert shapes["pool5"] == (512, 1, 1)
+        assert shapes["prob"] == (1000, 1, 1)
+
+    def test_residual_joins(self):
+        network = build_resnet18()
+        adds = [layer for layer in network.layers() if isinstance(layer, EltwiseAddLayer)]
+        assert len(adds) == 8
+        for layer in adds:
+            assert len(network.inputs_of(layer.name)) == 2
+
+    def test_identity_vs_projection_shortcuts(self):
+        network = build_resnet18()
+        downsamples = [
+            layer.name for layer in network.conv_layers() if "downsample" in layer.name
+        ]
+        assert downsamples == [
+            "conv3_1/downsample",
+            "conv4_1/downsample",
+            "conv5_1/downsample",
+        ]
+        for name in downsamples:
+            layer = network.layer(name)
+            assert layer.kernel == 1 and layer.stride == 2
+        # The identity blocks' inputs fan out to the conv path and the join.
+        assert set(network.consumers_of("pool1")) == {"conv2_1/conv1", "conv2_1/add"}
+
+    def test_total_macs_near_published(self):
+        # ResNet-18 convolutions are ~1.8 GMACs.
+        gmacs = build_resnet18().total_conv_macs() / 1e9
+        assert 1.6 < gmacs < 2.0
+
+    def test_scaled_variant_keeps_structure(self):
+        scaled = build_resnet18(input_size=64, base_width=8)
+        assert len(scaled.conv_layers()) == 20
+        assert scaled.infer_shapes()["pool5"] == (64, 1, 1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            build_resnet18(input_size=100)
+        with pytest.raises(ValueError):
+            build_resnet18(base_width=0)
+
+
+class TestMobileNetV1:
+    def test_conv_layer_count(self):
+        # 1 stem + 13 blocks x (depthwise + pointwise).
+        assert len(build_mobilenet_v1().conv_layers()) == 27
+
+    def test_depthwise_scenarios(self):
+        scenarios = build_mobilenet_v1().conv_scenarios()
+        depthwise = {name: s for name, s in scenarios.items() if name.endswith("/dw")}
+        assert len(depthwise) == 13
+        for name, scenario in depthwise.items():
+            assert scenario.is_depthwise, name
+            assert scenario.groups == scenario.c == scenario.m
+            assert scenario.k == 3
+        pointwise = {name: s for name, s in scenarios.items() if name.endswith("/sep")}
+        assert len(pointwise) == 13
+        for scenario in pointwise.values():
+            assert scenario.is_pointwise and scenario.groups == 1
+
+    def test_published_feature_map_pyramid(self):
+        shapes = build_mobilenet_v1().infer_shapes()
+        assert shapes["conv1"] == (32, 112, 112)
+        assert shapes["conv2/sep"] == (64, 112, 112)
+        assert shapes["conv5/sep"] == (256, 28, 28)
+        assert shapes["conv11/sep"] == (512, 14, 14)
+        assert shapes["conv14/sep"] == (1024, 7, 7)
+        assert shapes["pool6"] == (1024, 1, 1)
+        assert shapes["prob"] == (1000, 1, 1)
+
+    def test_total_macs_near_published(self):
+        # MobileNet-v1 is ~0.57 GMACs (the paper reports 569M mult-adds).
+        gmacs = build_mobilenet_v1().total_conv_macs() / 1e9
+        assert 0.5 < gmacs < 0.65
+
+    def test_width_multiplier_thins_channels(self):
+        half = build_mobilenet_v1(width_multiplier=0.5)
+        shapes = half.infer_shapes()
+        assert shapes["conv1"][0] == 16
+        assert shapes["conv14/sep"][0] == 512
+        assert half.total_conv_macs() < 0.3 * build_mobilenet_v1().total_conv_macs()
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            build_mobilenet_v1(input_size=90)
+        with pytest.raises(ValueError):
+            build_mobilenet_v1(width_multiplier=0.0)

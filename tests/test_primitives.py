@@ -30,6 +30,13 @@ CORRECTNESS_SCENARIOS = {
     "strided_k5": ConvScenario(c=3, h=13, w=11, stride=2, k=5, m=4, padding=2),
     "strided_k11": ConvScenario(c=3, h=19, w=19, stride=4, k=11, m=4),
     "grouped": ConvScenario(c=4, h=12, w=12, stride=1, k=3, m=6, padding=1, groups=2),
+    "depthwise": ConvScenario(c=6, h=12, w=12, stride=1, k=3, m=6, padding=1, groups=6),
+    "strided_depthwise": ConvScenario(
+        c=6, h=13, w=13, stride=2, k=3, m=6, padding=1, groups=6
+    ),
+    "depthwise_multiplier": ConvScenario(
+        c=4, h=10, w=10, stride=1, k=3, m=8, padding=1, groups=4
+    ),
     "no_padding": ConvScenario(c=2, h=8, w=8, stride=1, k=3, m=3),
 }
 
@@ -100,6 +107,30 @@ class TestCapabilities:
         for scenario in CORRECTNESS_SCENARIOS.values():
             assert library.applicable(scenario, family=PrimitiveFamily.DIRECT)
             assert library.applicable(scenario, family=PrimitiveFamily.IM2)
+
+    def test_depthwise_scenarios_reject_kn2_and_fft(self, library):
+        """kn2/FFT must decline ``groups == C`` scenarios, not miscost them."""
+        for name in ("depthwise", "depthwise_multiplier"):
+            scenario = CORRECTNESS_SCENARIOS[name]
+            assert scenario.is_depthwise
+            for family in (PrimitiveFamily.KN2, PrimitiveFamily.FFT):
+                assert library.applicable(scenario, family=family) == [], (name, family)
+            # The families that do claim depthwise keep their word below (the
+            # correctness sweep runs every applicable primitive on it).
+            for family in (
+                PrimitiveFamily.SUM2D,
+                PrimitiveFamily.DIRECT,
+                PrimitiveFamily.IM2,
+                PrimitiveFamily.WINOGRAD,
+            ):
+                assert library.applicable(scenario, family=family), (name, family)
+
+    def test_merely_grouped_scenarios_keep_kn2_and_fft(self, library):
+        """AlexNet-style groups=2 is not depthwise and stays fully supported."""
+        grouped = CORRECTNESS_SCENARIOS["grouped"]
+        assert grouped.is_grouped and not grouped.is_depthwise
+        for family in (PrimitiveFamily.KN2, PrimitiveFamily.FFT):
+            assert library.applicable(grouped, family=family)
 
     def test_winograd_requires_matching_kernel(self, library):
         k3 = CORRECTNESS_SCENARIOS["k3_pad"]

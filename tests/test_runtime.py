@@ -64,6 +64,23 @@ class TestReferenceOps:
         result = ops.softmax(x)
         assert np.isfinite(result).all()
 
+    def test_eltwise_add_sums_inputs(self):
+        a = np.arange(8, dtype=np.float32).reshape(2, 2, 2)
+        b = np.ones((2, 2, 2), dtype=np.float32)
+        out = ops.eltwise_add([a, b])
+        np.testing.assert_allclose(out, a + b)
+        out3 = ops.eltwise_add([a, b, b])
+        np.testing.assert_allclose(out3, a + 2.0)
+        # The inputs themselves are left untouched.
+        np.testing.assert_allclose(b, np.ones((2, 2, 2)))
+
+    def test_eltwise_add_rejects_bad_inputs(self):
+        a = np.zeros((2, 2, 2))
+        with pytest.raises(ValueError):
+            ops.eltwise_add([a])
+        with pytest.raises(ValueError):
+            ops.eltwise_add([a, np.zeros((2, 2, 3))])
+
     def test_concat_and_flatten(self):
         a, b = np.ones((2, 3, 3)), np.zeros((4, 3, 3))
         merged = ops.concat_channels([a, b])
@@ -142,7 +159,7 @@ class TestExecutor:
         executor = NetworkExecutor(network, plan, context.library)
         x = np.random.default_rng(7).standard_normal((3, 32, 32)).astype(np.float32)
         _, trace = executor.run_traced(x, keep_outputs=True)
-        assert trace.layer_order == [l.name for l in network.topological_order()]
+        assert trace.layer_order == [layer.name for layer in network.topological_order()]
         assert trace.conversions_executed == len(plan.conversions()) >= 0
         assert set(trace.outputs) == set(network.layer_names())
         assert trace.wall_seconds > 0
@@ -157,6 +174,139 @@ class TestExecutor:
         plan = sum2d_plan(context)
         with pytest.raises(ValueError):
             NetworkExecutor(other, plan, library)
+
+
+class TestExecutorDAG:
+    """DAG-shaped executor behaviour: multi-output networks and fan-out edges."""
+
+    @pytest.fixture(scope="class")
+    def context(self, tiny_network_session, library, dt_graph, intel):
+        return SelectionContext.create(
+            tiny_network_session, platform=intel, library=library, dt_graph=dt_graph
+        )
+
+    def _context(self, network, library, dt_graph, intel):
+        return SelectionContext.create(
+            network, platform=intel, library=library, dt_graph=dt_graph
+        )
+
+    def test_multi_output_network_returns_every_output(self, library, dt_graph, intel):
+        from repro.core.legalize import finalize_plan, fixed_layouts
+        from repro.graph.layer import ConvLayer, InputLayer, PoolLayer, ReLULayer
+        from repro.graph.network import Network
+        from repro.layouts.layout import CHW
+
+        net = Network("two-heads")
+        net.add_layer(InputLayer("data", shape=(3, 12, 12)))
+        net.add_layer(ConvLayer("conv", out_channels=4, kernel=3, padding=1), ["data"])
+        net.add_layer(ReLULayer("head_a"), ["conv"])
+        net.add_layer(PoolLayer("head_b", kernel=2, stride=2), ["conv"])
+        net.validate()
+        context = self._context(net, library, dt_graph, intel)
+        plan = finalize_plan(
+            context, "probe", {"conv": "sum2d"}, fixed_layouts(context, CHW)
+        )
+        executor = NetworkExecutor(net, plan, library)
+        x = np.random.default_rng(3).standard_normal((3, 12, 12)).astype(np.float32)
+        result, trace = executor.run_traced(x, keep_outputs=True)
+        assert isinstance(result, dict)
+        assert set(result) == {"head_a", "head_b"}
+        np.testing.assert_allclose(result["head_a"], trace.outputs["head_a"])
+        np.testing.assert_allclose(result["head_b"], trace.outputs["head_b"])
+        assert result["head_a"].shape == (4, 12, 12)
+        assert result["head_b"].shape == (4, 6, 6)
+
+    def test_single_output_network_keeps_array_fast_path(self, context):
+        executor = NetworkExecutor(context.network, sum2d_plan(context), context.library)
+        x = np.random.default_rng(9).standard_normal((3, 32, 32)).astype(np.float32)
+        out = executor.run(x)
+        assert isinstance(out, np.ndarray)
+
+    def test_fanout_conversion_chain_runs_once(self, library, dt_graph, intel):
+        from repro.core.legalize import finalize_plan
+        from repro.graph.layer import EltwiseAddLayer, InputLayer, ReLULayer
+        from repro.graph.network import Network
+        from repro.layouts.layout import CHW, CHW8c
+
+        net = Network("fanout")
+        net.add_layer(InputLayer("data", shape=(4, 8, 8)))
+        net.add_layer(ReLULayer("relu_a"), ["data"])
+        net.add_layer(ReLULayer("relu_b"), ["data"])
+        net.add_layer(EltwiseAddLayer("add"), ["relu_a", "relu_b"])
+        net.validate()
+        context = self._context(net, library, dt_graph, intel)
+        # Force both fan-out edges of "data" to need the same CHW -> CHWc8
+        # conversion chain: the executor must apply it once and reuse it.
+        plan = finalize_plan(
+            context,
+            "probe",
+            {},
+            {"data": CHW, "relu_a": CHW8c, "relu_b": CHW8c, "add": CHW8c},
+        )
+        assert len(plan.conversions()) == 2
+        executor = NetworkExecutor(net, plan, library)
+        x = np.random.default_rng(5).standard_normal((4, 8, 8)).astype(np.float32)
+        out, trace = executor.run_traced(x)
+        assert trace.conversions_executed == 1
+        assert len(trace.conversion_seconds) == 1
+        assert trace.total_conversion_seconds > 0
+        np.testing.assert_allclose(out, 2.0 * np.maximum(x, 0.0), rtol=1e-6, atol=1e-6)
+
+    def test_inconsistent_multi_input_plan_rejected(self, library, dt_graph, intel):
+        """A hand-assembled plan whose join edges disagree on layout is refused."""
+        from repro.core.legalize import finalize_plan
+        from repro.graph.layer import EltwiseAddLayer, InputLayer, ReLULayer
+        from repro.graph.network import Network
+        from repro.layouts.layout import CHW, CHW8c
+
+        net = Network("bad-join")
+        net.add_layer(InputLayer("data", shape=(4, 8, 8)))
+        net.add_layer(ReLULayer("relu_a"), ["data"])
+        net.add_layer(ReLULayer("relu_b"), ["data"])
+        net.add_layer(EltwiseAddLayer("add"), ["relu_a", "relu_b"])
+        net.validate()
+        context = self._context(net, library, dt_graph, intel)
+        plan = finalize_plan(
+            context,
+            "probe",
+            {},
+            {"data": CHW, "relu_a": CHW, "relu_b": CHW, "add": CHW},
+        )
+        # Tamper one join edge so the add would receive mixed layouts.
+        for edge in plan.edge_decisions:
+            if edge.producer == "relu_b" and edge.consumer == "add":
+                edge.target_layout = CHW8c
+        with pytest.raises(ValueError, match="different layouts"):
+            NetworkExecutor(net, plan, library)
+
+    def test_distinct_target_layouts_still_convert_separately(
+        self, library, dt_graph, intel
+    ):
+        from repro.core.legalize import finalize_plan
+        from repro.graph.layer import ConcatLayer, InputLayer, ReLULayer
+        from repro.graph.network import Network
+        from repro.layouts.layout import CHW, CHW8c, HWC
+
+        net = Network("fanout-mixed")
+        net.add_layer(InputLayer("data", shape=(4, 8, 8)))
+        net.add_layer(ReLULayer("relu_a"), ["data"])
+        net.add_layer(ReLULayer("relu_b"), ["data"])
+        net.add_layer(ConcatLayer("concat"), ["relu_a", "relu_b"])
+        net.validate()
+        context = self._context(net, library, dt_graph, intel)
+        plan = finalize_plan(
+            context,
+            "probe",
+            {},
+            {"data": CHW, "relu_a": CHW8c, "relu_b": HWC, "concat": CHW},
+        )
+        executor = NetworkExecutor(net, plan, library)
+        x = np.random.default_rng(6).standard_normal((4, 8, 8)).astype(np.float32)
+        out, trace = executor.run_traced(x)
+        # Different targets on the two fan-out edges: nothing can be reused.
+        assert trace.conversions_executed == len(plan.conversions())
+        expected = np.concatenate([np.maximum(x, 0.0)] * 2, axis=0)
+        np.testing.assert_allclose(out, expected, rtol=1e-6, atol=1e-6)
 
 
 class TestCodegen:

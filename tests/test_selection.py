@@ -14,9 +14,7 @@ from repro.core.frameworks import armcl_like_plan, caffe_like_plan, mkldnn_like_
 from repro.core.legalize import finalize_plan, fixed_layouts, follow_producer_layouts
 from repro.core.selector import PBQPSelector, SelectionContext, select_primitives
 from repro.cost.analytical import AnalyticalCostModel
-from repro.graph.layer import LayerKind
 from repro.layouts.layout import CHW
-from repro.models import build_model
 from repro.primitives.base import PrimitiveFamily
 
 
@@ -201,12 +199,12 @@ class TestLegalization:
             finalize_plan(intel_context, "broken", {}, fixed_layouts(intel_context, CHW))
 
     def test_missing_wildcard_layout_rejected(self, intel_context):
-        conv_primitives = {l.name: "sum2d" for l in intel_context.network.conv_layers()}
+        conv_primitives = {layer.name: "sum2d" for layer in intel_context.network.conv_layers()}
         with pytest.raises(ValueError):
             finalize_plan(intel_context, "broken", conv_primitives, {})
 
     def test_follow_producer_assigns_all_wildcards(self, intel_context):
-        conv_primitives = {l.name: "im2row_vf8" for l in intel_context.network.conv_layers()}
+        conv_primitives = {layer.name: "im2row_vf8" for layer in intel_context.network.conv_layers()}
         layouts = follow_producer_layouts(intel_context, conv_primitives)
         wildcard_layers = [
             layer.name

@@ -10,7 +10,6 @@ from repro.core.baselines import sum2d_plan
 from repro.core.selector import PBQPSelector, SelectionContext
 from repro.cost.serialize import (
     cost_tables_from_dict,
-    cost_tables_to_dict,
     load_cost_tables,
     load_plan,
     plan_from_dict,

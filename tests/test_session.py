@@ -55,7 +55,7 @@ class TestPlanExecute:
         report = plan.execute()
         assert isinstance(report, ExecutionReport)
         layer_names = [entry.layer for entry in report.layers]
-        assert layer_names == [l.name for l in tiny_network.topological_order()]
+        assert layer_names == [layer.name for layer in tiny_network.topological_order()]
         assert all(entry.measured_ms >= 0 for entry in report.layers)
         # Convolution layers carry their primitive and predicted cost.
         conv_entries = [e for e in report.layers if e.primitive is not None]
@@ -339,6 +339,63 @@ class TestCostStore:
         assert chosen <= set(reduced_names)
         assert set(full_result.plan.conv_selections().values()) - set(reduced_names)
 
+    def test_concurrent_writes_of_one_key_never_tear(
+        self, library, dt_graph, tiny_network, tmp_path
+    ):
+        """Regression: per-call unique temp names for the write-then-rename.
+
+        A pid-suffixed temp name is shared by every thread of one process, so
+        two ``select_many`` workers producing the same key used to interleave
+        on one temp file and rename a torn JSON document.  Each writer must
+        use its own temp file; afterwards the entry must parse and be served.
+        """
+        import threading
+
+        from repro.api import network_fingerprint
+        from repro.cost.platform import PLATFORMS
+
+        store = CostStore(tmp_path, AnalyticalCostProvider())
+        query = CostQuery(
+            network=tiny_network,
+            fingerprint=network_fingerprint(tiny_network),
+            platform=PLATFORMS["intel-haswell"],
+            platform_name="intel-haswell",
+            threads=1,
+            library=library,
+            dt_graph=dt_graph,
+        )
+        tables = store.provider.tables(query)
+        key = store.key_for(query)
+        path = store.path_for(key)
+
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def write():
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    store._write(path, key, tables)
+            except Exception as exc:  # pragma: no cover - the failure signal
+                errors.append(exc)
+
+        threads = [threading.Thread(target=write) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # The entry parses (no torn write) and no temp litter is left behind.
+        document = json.loads(path.read_text())
+        assert document["format"] == STORE_ENTRY_FORMAT
+        assert [entry.path for entry in store.entries()] == [path]
+        assert not list(tmp_path.glob("*.tmp")) and not list(tmp_path.glob(".*"))
+        # And a fresh store serves it.
+        fresh = CostStore(tmp_path, AnalyticalCostProvider())
+        served = fresh.tables(query)
+        assert served.node_costs == tables.node_costs
+        assert fresh.stats().hits == 1
+
     def test_store_roundtrip_preserves_selection(self, library, dt_graph, tmp_path):
         cold = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
         cold_result = cold.select("alexnet", "intel-haswell")
@@ -375,7 +432,7 @@ class TestEngineShim:
         assert report.model == "alexnet"
         network = engine.context_for("alexnet", "intel-haswell").network
         assert [entry.layer for entry in report.layers] == [
-            l.name for l in network.topological_order()
+            layer.name for layer in network.topological_order()
         ]
         assert all(entry.measured_ms >= 0 for entry in report.layers)
         assert report.measured_total_ms > 0
@@ -437,7 +494,11 @@ class TestSessionCLI:
         assert "sorted by total cost" in out
         assert "best strategy: pbqp" in out
         # The first data row is the fastest strategy (pbqp).
-        lines = [l for l in out.splitlines() if l and not l.startswith(("Strategy", "strategy", "-", "(", "best"))]
+        lines = [
+            line
+            for line in out.splitlines()
+            if line and not line.startswith(("Strategy", "strategy", "-", "(", "best"))
+        ]
         assert lines[0].startswith("pbqp")
 
     def test_cli_run_rejects_missing_plan_file(self, tmp_path, capsys):
