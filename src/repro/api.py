@@ -81,12 +81,13 @@ def network_fingerprint(network: Network) -> str:
 
 @dataclass(frozen=True)
 class SelectionRequest:
-    """One (model, platform, strategy, threads) combination for :meth:`Session.select_many`."""
+    """One (model, platform, strategy, threads, batch) combination for :meth:`Session.select_many`."""
 
     model: ModelLike
     platform: PlatformLike
     strategy: str = "pbqp"
     threads: int = 1
+    batch: int = 1
 
 
 @dataclass
@@ -100,11 +101,18 @@ class SelectionResult:
     plan: NetworkPlan
     #: Whether the profiled context (cost tables) was reused from the cache.
     from_cache: bool = False
+    #: Minibatch size the selection was priced for.
+    batch: int = 1
 
     @property
     def total_ms(self) -> float:
         """Whole-network time of the selected plan in milliseconds."""
         return self.plan.total_ms
+
+    @property
+    def per_image_ms(self) -> float:
+        """Whole-network time per image, in milliseconds."""
+        return self.plan.per_image_ms
 
     def speedup_over(self, baseline: "SelectionResult") -> float:
         """Speedup of this result's plan over another result's plan."""
@@ -117,6 +125,7 @@ class SelectionResult:
             "model": self.model,
             "platform": self.platform,
             "threads": self.threads,
+            "batch": self.batch,
             "strategy": self.strategy,
             "plan": plan_to_dict(self.plan),
         }
@@ -133,6 +142,7 @@ class SelectionResult:
             strategy=document["strategy"],
             plan=plan_from_dict(document["plan"], dt_graph),
             from_cache=False,
+            batch=int(document.get("batch", 1)),
         )
 
 
@@ -204,6 +214,8 @@ class ExecutionReport:
     measured_conversion_ms: float
     #: Wall-clock time of the whole forward pass, in ms.
     wall_ms: float
+    #: Number of images in the forward pass (1 for a single-image run).
+    batch: int = 1
 
     @property
     def predicted_total_ms(self) -> float:
@@ -214,6 +226,11 @@ class ExecutionReport:
     def measured_total_ms(self) -> float:
         """Measured compute plus conversion time, in ms."""
         return sum(entry.measured_ms for entry in self.layers) + self.measured_conversion_ms
+
+    @property
+    def measured_per_image_ms(self) -> float:
+        """Measured total time per image, in ms."""
+        return self.measured_total_ms / self.batch
 
     @property
     def prediction_ratio(self) -> float:
@@ -231,9 +248,10 @@ class ExecutionReport:
     def format(self) -> str:
         """Human-readable per-layer report."""
         plural = "s" if self.threads != 1 else ""
+        batch = f", batch {self.batch}" if self.batch != 1 else ""
         lines = [
             f"Execution report — {self.model} [{self.strategy}] on {self.platform} "
-            f"({self.threads} thread{plural})",
+            f"({self.threads} thread{plural}{batch})",
             f"  measured {self.measured_total_ms:.2f} ms on this host "
             f"({self.conversions_executed}/{self.conversions_planned} planned layout "
             f"conversions executed, costing {self.measured_conversion_ms:.2f} ms)",
@@ -316,8 +334,10 @@ class Plan:
         Parameters
         ----------
         input:
-            CHW input tensor; a deterministic random input (from ``seed``) of
-            the right shape is generated when omitted.
+            CHW input tensor (or an ``(N, C, H, W)`` minibatch); a
+            deterministic random input (from ``seed``) of the right shape is
+            generated when omitted — batched when the plan was selected for a
+            batch larger than one.
         seed:
             Seed for the weight store and the generated input, so two plans
             executed with the same seed compute over identical weights.
@@ -325,11 +345,27 @@ class Plan:
             Keep every layer's output tensor on the returned trace.
         """
         if input is None:
+            shape = self.input_shape()
+            if self.result.batch > 1:
+                shape = (self.result.batch,) + shape
             input = (
                 np.random.default_rng(seed)
-                .standard_normal(self.input_shape())
+                .standard_normal(shape)
                 .astype(np.float32)
             )
+        else:
+            # The report compares measured times against the plan's predicted
+            # costs, which were priced for result.batch images — a mismatched
+            # input would silently skew every predicted-vs-measured number.
+            input = np.asarray(input)
+            input_batch = input.shape[0] if input.ndim == 4 else 1
+            if input_batch != self.result.batch:
+                raise ValueError(
+                    f"input carries {input_batch} image(s) but this plan was "
+                    f"priced for batch {self.result.batch}; select with "
+                    f"batch={input_batch} (or reshape the input) to compare "
+                    "like with like"
+                )
         output, trace = self.executor(seed=seed).run_traced(
             input, keep_outputs=keep_outputs
         )
@@ -362,6 +398,7 @@ class Plan:
             predicted_conversion_ms=1e3 * plan.dt_cost,
             measured_conversion_ms=1e3 * trace.total_conversion_seconds,
             wall_ms=1e3 * trace.wall_seconds,
+            batch=trace.batch,
         )
 
     # -- persistence --------------------------------------------------------------
@@ -395,6 +432,8 @@ class ComparisonReport:
     threads: int
     baseline: SelectionResult
     results: List[SelectionResult]
+    #: Minibatch size every compared selection was priced for.
+    batch: int = 1
 
     def __iter__(self):
         return iter(self.results)
@@ -418,9 +457,10 @@ class ComparisonReport:
     def format(self, title: Optional[str] = None) -> str:
         """Render the ranked comparison table."""
         plural = "s" if self.threads != 1 else ""
+        batch = f", batch {self.batch}" if self.batch != 1 else ""
         title = title or (
             f"Strategy comparison — {self.model} on {self.platform}, "
-            f"{self.threads} thread{plural}"
+            f"{self.threads} thread{plural}{batch}"
         )
         header = f"{'strategy':<20}{'total ms':>12}{'speedup':>10}"
         lines = [title, header, "-" * len(header)]
@@ -481,7 +521,7 @@ class Session:
         if cache_dir is not None and not isinstance(resolved, CostStore):
             resolved = CostStore(cache_dir, resolved)
         self.provider: CostProvider = resolved
-        self._contexts: Dict[Tuple[str, str, int], SelectionContext] = {}
+        self._contexts: Dict[Tuple[str, str, int, int], SelectionContext] = {}
         self._networks: Dict[str, Network] = {}
         self._stats = _CacheState()
 
@@ -532,6 +572,7 @@ class Session:
         platform: Optional[Platform],
         platform_name: str,
         threads: int,
+        batch: int = 1,
     ) -> CostQuery:
         return CostQuery(
             network=network,
@@ -541,6 +582,7 @@ class Session:
             threads=threads,
             library=self.library,
             dt_graph=self.dt_graph,
+            batch=batch,
         )
 
     def _build_context(
@@ -550,9 +592,10 @@ class Session:
         platform: Optional[Platform],
         platform_name: str,
         threads: int,
+        batch: int = 1,
     ) -> SelectionContext:
         """Build a selection context with tables from the cost provider."""
-        query = self._query(fingerprint, network, platform, platform_name, threads)
+        query = self._query(fingerprint, network, platform, platform_name, threads, batch)
         tables = self.provider.tables(query)
         context = SelectionContext(
             network=network,
@@ -563,6 +606,7 @@ class Session:
             threads=threads,
             tables=tables,
             platform=platform,
+            batch=batch,
         )
         if threads != 1:
             # Framework emulations lazily need single-threaded tables; route
@@ -573,17 +617,19 @@ class Session:
         return context
 
     def _lookup(
-        self, model: ModelLike, platform: PlatformLike, threads: int
+        self, model: ModelLike, platform: PlatformLike, threads: int, batch: int = 1
     ) -> Tuple[str, SelectionContext, bool]:
         """Resolve a query to (fingerprint, memoized context, was-cache-hit)."""
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
         resolved, platform_name = self._resolve_platform(platform)
         fingerprint, network = self._resolve_network(model)
-        key = (fingerprint, platform_name, threads)
+        key = (fingerprint, platform_name, threads, batch)
         context = self._contexts.get(key)
         if context is None:
             self._stats.misses += 1
             context = self._build_context(
-                fingerprint, network, resolved, platform_name, threads
+                fingerprint, network, resolved, platform_name, threads, batch
             )
             self._contexts[key] = context
             return fingerprint, context, False
@@ -591,10 +637,10 @@ class Session:
         return fingerprint, context, True
 
     def context_for(
-        self, model: ModelLike, platform: PlatformLike, threads: int = 1
+        self, model: ModelLike, platform: PlatformLike, threads: int = 1, batch: int = 1
     ) -> SelectionContext:
-        """The memoized profiled context for one (model, platform, threads)."""
-        return self._lookup(model, platform, threads)[1]
+        """The memoized profiled context for one (model, platform, threads, batch)."""
+        return self._lookup(model, platform, threads, batch)[1]
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss counters and the number of cached contexts."""
@@ -622,8 +668,9 @@ class Session:
         platform: PlatformLike,
         strategy: str = "pbqp",
         threads: int = 1,
+        batch: int = 1,
     ) -> SelectionResult:
-        """Run one strategy for one (model, platform, threads) combination.
+        """Run one strategy for one (model, platform, threads, batch) combination.
 
         Raises
         ------
@@ -632,7 +679,7 @@ class Session:
             gate rejects the context's platform (e.g. ``mkldnn`` on ARM).
         """
         chosen = get_strategy(strategy)
-        fingerprint, context, from_cache = self._lookup(model, platform, threads)
+        fingerprint, context, from_cache = self._lookup(model, platform, threads, batch)
         if not chosen.applies_to(context):
             raise ValueError(
                 f"strategy {chosen.name!r} does not apply to platform "
@@ -645,6 +692,7 @@ class Session:
             strategy=chosen.name,
             plan=chosen.build_plan(context),
             from_cache=from_cache,
+            batch=batch,
         )
 
     def plan(
@@ -653,9 +701,10 @@ class Session:
         platform: PlatformLike,
         strategy: str = "pbqp",
         threads: int = 1,
+        batch: int = 1,
     ) -> Plan:
         """Select and return an executable :class:`Plan` handle."""
-        result = self.select(model, platform, strategy=strategy, threads=threads)
+        result = self.select(model, platform, strategy=strategy, threads=threads, batch=batch)
         _, network = self._resolve_network(model)
         return Plan(
             result=result,
@@ -670,13 +719,18 @@ class Session:
         platform: PlatformLike,
         strategy: str = "pbqp",
         threads: int = 1,
+        batch: int = 1,
         input: Optional[np.ndarray] = None,
         seed: int = 0,
     ) -> ExecutionReport:
-        """One-shot plan-and-execute: select, run a forward pass, and report."""
-        return self.plan(model, platform, strategy=strategy, threads=threads).execute(
-            input=input, seed=seed
-        )
+        """One-shot plan-and-execute: select, run a forward pass, and report.
+
+        With ``batch > 1`` the selection is priced for that minibatch size
+        and the forward pass runs on an ``(N, C, H, W)`` input.
+        """
+        return self.plan(
+            model, platform, strategy=strategy, threads=threads, batch=batch
+        ).execute(input=input, seed=seed)
 
     def plan_from_file(
         self, path: Union[str, Path], network: Optional[Network] = None
@@ -701,6 +755,7 @@ class Session:
             strategy=network_plan.strategy,
             plan=network_plan,
             from_cache=False,
+            batch=network_plan.batch,
         )
         return Plan(
             result=result,
@@ -716,10 +771,11 @@ class Session:
         threads: int,
         strategies: Optional[Sequence[str]],
         include_frameworks: bool,
+        batch: int = 1,
     ) -> List[SelectionResult]:
         """Select with every applicable strategy (or a named subset), in
         registration order, against one shared profiled context."""
-        context = self.context_for(model, platform, threads)
+        context = self.context_for(model, platform, threads, batch)
         if strategies is None:
             chosen: List[Strategy] = applicable_strategies(
                 context, include_frameworks=include_frameworks
@@ -727,7 +783,7 @@ class Session:
         else:
             chosen = [get_strategy(name) for name in strategies]
         return [
-            self.select(model, platform, strategy=strategy.name, threads=threads)
+            self.select(model, platform, strategy=strategy.name, threads=threads, batch=batch)
             for strategy in chosen
         ]
 
@@ -738,24 +794,27 @@ class Session:
         threads: int = 1,
         strategies: Optional[Sequence[str]] = None,
         include_frameworks: bool = True,
+        batch: int = 1,
     ) -> ComparisonReport:
         """Evaluate every applicable strategy (or a named subset), ranked.
 
         All strategies share one profiled context, so the whole sweep pays
         for profiling exactly once; the returned report is sorted by total
         cost and carries speedups over the common single-threaded SUM2D
-        baseline.
+        baseline (priced at the same batch, so speedups compare like with
+        like).
         """
         results = self._select_all(
-            model, platform, threads, strategies, include_frameworks
+            model, platform, threads, strategies, include_frameworks, batch
         )
-        baseline = self.baseline(model, platform)
+        baseline = self.baseline(model, platform, batch=batch)
         return ComparisonReport(
             model=baseline.model,
-            platform=self.context_for(model, platform, threads).platform_name,
+            platform=self.context_for(model, platform, threads, batch).platform_name,
             threads=threads,
             baseline=baseline,
             results=sorted(results, key=lambda result: result.total_ms),
+            batch=batch,
         )
 
     def select_many(
@@ -776,11 +835,11 @@ class Session:
             request if isinstance(request, SelectionRequest) else SelectionRequest(*request)
             for request in requests
         ]
-        pending: Dict[Tuple[str, str, int], Tuple] = {}
+        pending: Dict[Tuple[str, str, int, int], Tuple] = {}
         for request in normalized:
             resolved, platform_name = self._resolve_platform(request.platform)
             fingerprint, network = self._resolve_network(request.model)
-            key = (fingerprint, platform_name, request.threads)
+            key = (fingerprint, platform_name, request.threads, request.batch)
             if key not in self._contexts and key not in pending:
                 pending[key] = (
                     fingerprint,
@@ -788,6 +847,7 @@ class Session:
                     resolved,
                     platform_name,
                     request.threads,
+                    request.batch,
                 )
         if len(pending) == 1 or max_workers == 1:
             for key, args in pending.items():
@@ -808,13 +868,18 @@ class Session:
                 request.platform,
                 strategy=request.strategy,
                 threads=request.threads,
+                batch=request.batch,
             )
             for request in normalized
         ]
 
-    def baseline(self, model: ModelLike, platform: PlatformLike) -> SelectionResult:
-        """The common speedup baseline: single-threaded SUM2D."""
-        return self.select(model, platform, strategy=BASELINE_STRATEGY, threads=1)
+    def baseline(
+        self, model: ModelLike, platform: PlatformLike, batch: int = 1
+    ) -> SelectionResult:
+        """The common speedup baseline: single-threaded SUM2D (at ``batch``)."""
+        return self.select(
+            model, platform, strategy=BASELINE_STRATEGY, threads=1, batch=batch
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
         info = self.cache_info()
@@ -864,6 +929,7 @@ class Engine(Session):
                     request.platform,
                     strategy=request.strategy,
                     threads=request.threads,
+                    batch=request.batch,
                 )
             )
         return results

@@ -18,7 +18,8 @@ Every selection-driving subcommand accepts ``--cache-dir PATH``: cost tables
 are then persisted in a :class:`~repro.cost.store.CostStore`, so a second
 invocation (a fresh process) skips profiling entirely.  ``select``, ``run``
 and ``compare`` accept the network either positionally (``repro select
-alexnet``) or as ``--network alexnet``.
+alexnet``) or as ``--network alexnet``, plus ``--batch N`` to price the
+selection (and execute the forward pass) for minibatches of ``N`` images.
 
 Invoke as ``python -m repro <subcommand> ...`` (or ``repro <subcommand> ...``
 once the package is installed).
@@ -86,6 +87,15 @@ def _add_threads_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_batch_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="minibatch size to price and execute (default: 1, the paper's setting)",
+    )
+
+
 def _add_cache_dir_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -106,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(select)
     _add_platform_argument(select)
     _add_threads_argument(select)
+    _add_batch_argument(select)
     _add_cache_dir_argument(select)
     select.add_argument(
         "--strategy",
@@ -128,6 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(run)
     _add_platform_argument(run)
     _add_threads_argument(run)
+    _add_batch_argument(run)
     _add_cache_dir_argument(run)
     run.add_argument(
         "--strategy",
@@ -150,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_model_arguments(compare)
     _add_platform_argument(compare)
     _add_threads_argument(compare)
+    _add_batch_argument(compare)
     _add_cache_dir_argument(compare)
 
     cache = subparsers.add_parser(
@@ -196,14 +209,19 @@ def _command_select(args: argparse.Namespace) -> int:
     session = _session(args)
     try:
         result = session.select(
-            args.model, args.platform, strategy=args.strategy, threads=args.threads
+            args.model,
+            args.platform,
+            strategy=args.strategy,
+            threads=args.threads,
+            batch=args.batch,
         )
     except ValueError as exc:  # e.g. a platform-gated strategy on the wrong platform
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # The speedup denominator is the paper's common baseline: *single-threaded*
-    # SUM2D, matching the figures' methodology regardless of --threads.
-    baseline = session.baseline(args.model, args.platform)
+    # SUM2D, matching the figures' methodology regardless of --threads (but
+    # priced at the same --batch, so the ratio compares like with like).
+    baseline = session.baseline(args.model, args.platform, batch=args.batch)
     plan = result.plan
     print(plan.summary())
     print(
@@ -211,7 +229,9 @@ def _command_select(args: argparse.Namespace) -> int:
         f"{result.speedup_over(baseline):.2f}x{_solver_note(plan)}"
     )
     if args.schedule:
-        network = session.context_for(args.model, args.platform, args.threads).network
+        network = session.context_for(
+            args.model, args.platform, args.threads, args.batch
+        ).network
         print()
         print(render_schedule(network, plan))
     if args.save:
@@ -237,23 +257,35 @@ def _command_run(args: argparse.Namespace) -> int:
             print(f"executing saved plan {args.plan} [{plan.strategy}]")
         else:
             plan = session.plan(
-                args.model, args.platform, strategy=args.strategy, threads=args.threads
+                args.model,
+                args.platform,
+                strategy=args.strategy,
+                threads=args.threads,
+                batch=args.batch,
             )
     except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     report = plan.execute(seed=args.seed)
     print(report.format())
-    print(
-        f"  output: class {int(report.output.argmax())} "
-        f"(probability {float(report.output.max()):.3f})"
-    )
+    output = report.output
+    if report.batch > 1:
+        per_image = output.reshape(report.batch, -1)
+        classes = ", ".join(str(int(row.argmax())) for row in per_image)
+        print(f"  output: classes [{classes}] over the {report.batch}-image batch")
+    else:
+        print(
+            f"  output: class {int(output.argmax())} "
+            f"(probability {float(output.max()):.3f})"
+        )
     return 0
 
 
 def _command_compare(args: argparse.Namespace) -> int:
     session = _session(args)
-    report = session.compare(args.model, args.platform, threads=args.threads)
+    report = session.compare(
+        args.model, args.platform, threads=args.threads, batch=args.batch
+    )
     print(report.format())
     print(f"best strategy: {report.best.strategy}")
     return 0
@@ -271,7 +303,8 @@ def _command_cache(args: argparse.Namespace) -> int:
         key = entry.key
         print(
             f"  {key.fingerprint:<24} {key.platform:<18} {key.threads:>2} thread(s)  "
-            f"{key.provider} v{key.provider_version}  {entry.size_bytes / 1024:8.1f} KiB"
+            f"batch {key.batch:>3}  {key.provider} v{key.provider_version}  "
+            f"{entry.size_bytes / 1024:8.1f} KiB"
         )
     return 0
 

@@ -124,6 +124,7 @@ def finalize_plan(
         threads=context.threads,
         layer_decisions=layer_decisions,
         edge_decisions=edge_decisions,
+        batch=context.batch,
     )
 
 

@@ -60,6 +60,8 @@ class NetworkPlan:
     platform_name: str
     threads: int
     layer_decisions: Dict[str, LayerDecision] = field(default_factory=dict)
+    #: Minibatch size the plan's costs describe (1 = the paper's setting).
+    batch: int = 1
     edge_decisions: List[EdgeDecision] = field(default_factory=list)
     #: Extra information recorded by the strategy (e.g. solver statistics).
     metadata: Dict[str, object] = field(default_factory=dict)
@@ -83,8 +85,13 @@ class NetworkPlan:
 
     @property
     def total_ms(self) -> float:
-        """Whole-network cost in milliseconds."""
+        """Whole-network cost in milliseconds (for the whole batch)."""
         return 1e3 * self.total_cost
+
+    @property
+    def per_image_ms(self) -> float:
+        """Whole-network cost per image, in milliseconds."""
+        return self.total_ms / self.batch
 
     # -- queries --------------------------------------------------------------------
 
@@ -118,10 +125,12 @@ class NetworkPlan:
 
     def summary(self) -> str:
         """Human-readable description of the plan (selection table + cost)."""
+        batch = f", batch {self.batch}" if self.batch != 1 else ""
+        per_image = f", {self.per_image_ms:.2f} ms/image" if self.batch != 1 else ""
         lines = [
             f"Plan for {self.network_name!r} [{self.strategy}] on {self.platform_name} "
-            f"({self.threads} thread{'s' if self.threads != 1 else ''})",
-            f"  total {self.total_ms:.2f} ms  (conv {1e3 * self.conv_cost:.2f} ms, "
+            f"({self.threads} thread{'s' if self.threads != 1 else ''}{batch})",
+            f"  total {self.total_ms:.2f} ms{per_image}  (conv {1e3 * self.conv_cost:.2f} ms, "
             f"layout transforms {1e3 * self.dt_cost:.2f} ms, "
             f"{len(self.conversions())} conversions)",
         ]

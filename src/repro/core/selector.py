@@ -55,6 +55,8 @@ class SelectionContext:
     threads: int
     tables: CostTables
     platform: Optional[Platform] = None
+    #: Minibatch size the context's cost tables were priced for.
+    batch: int = 1
     _single_thread_tables: Optional[CostTables] = field(default=None, repr=False)
     #: Optional hook producing single-threaded tables (set by the Session API so
     #: the lazy rebuild below goes through its cost provider — and therefore
@@ -82,7 +84,12 @@ class SelectionContext:
                 self._single_thread_tables = self.single_thread_tables_factory()
             else:
                 self._single_thread_tables = build_cost_tables(
-                    self.network, self.library, self.dt_graph, self.cost_model, threads=1
+                    self.network,
+                    self.library,
+                    self.dt_graph,
+                    self.cost_model,
+                    threads=1,
+                    batch=self.batch,
                 )
         return self._single_thread_tables
 
@@ -95,12 +102,14 @@ class SelectionContext:
         library: Optional[PrimitiveLibrary] = None,
         dt_graph: Optional[DTGraph] = None,
         threads: int = 1,
+        batch: int = 1,
     ) -> "SelectionContext":
         """Assemble a context, defaulting every component sensibly.
 
         Either ``platform`` (priced with the analytical model) or an explicit
         ``cost_model`` must be provided; if both are given the explicit cost
-        model wins.
+        model wins.  ``batch`` prices the whole context for minibatches of
+        that size.
         """
         if cost_model is None:
             if platform is None:
@@ -110,7 +119,9 @@ class SelectionContext:
         library = library if library is not None else default_primitive_library()
         if dt_graph is None:
             dt_graph = DTGraph(library.layouts_used(), default_transform_library())
-        tables = build_cost_tables(network, library, dt_graph, cost_model, threads=threads)
+        tables = build_cost_tables(
+            network, library, dt_graph, cost_model, threads=threads, batch=batch
+        )
         return cls(
             network=network,
             library=library,
@@ -120,6 +131,7 @@ class SelectionContext:
             threads=threads,
             tables=tables,
             platform=platform,
+            batch=batch,
         )
 
 
@@ -232,6 +244,7 @@ def select_primitives(
     library: Optional[PrimitiveLibrary] = None,
     dt_graph: Optional[DTGraph] = None,
     threads: int = 1,
+    batch: int = 1,
 ) -> NetworkPlan:
     """One-call convenience API: profile, encode, solve and legalize.
 
@@ -244,5 +257,6 @@ def select_primitives(
         library=library,
         dt_graph=dt_graph,
         threads=threads,
+        batch=batch,
     )
     return PBQPSelector().select(context)

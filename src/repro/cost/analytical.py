@@ -90,17 +90,36 @@ class AnalyticalCostModel:
     def primitive_cost(
         self, primitive: ConvPrimitive, scenario: ConvScenario, threads: int = 1
     ) -> float:
-        """Modelled execution time (seconds) of one primitive on one scenario."""
+        """Modelled execution time (seconds) of one primitive on one scenario.
+
+        Batched scenarios are priced with per-image working sets (a minibatch
+        streams its images through the same blocked loops and scratch
+        buffers) but whole-batch totals for arithmetic, traffic and footprint.
+        Fixed per-call setup — dispatch, packing, kernel transforms — is
+        charged once per invocation, so a batch amortizes it: this is what
+        lets transform/GEMM-heavy families overtake the direct loops as the
+        batch grows.
+        """
         if threads < 1:
             raise ValueError("threads must be >= 1")
         platform = self.platform
         params = self.parameters
         traits = primitive.traits()
+        batch = scenario.batch
+        per_image = scenario.per_image
 
         ops = primitive.arithmetic_ops(scenario)
-        workspace_bytes = 4.0 * primitive.workspace_elements(scenario)
+        # Per-image scratch footprint (buffers are reused across the batch).
+        workspace_bytes = 4.0 * primitive.workspace_elements(per_image)
+        # Whole-batch tensor bytes; the kernel is shared across the batch.
         tensor_bytes = 4.0 * (
             scenario.input_elements() + scenario.output_elements() + scenario.kernel_elements()
+        )
+        # Per-image tensor bytes: what the inner loops keep in flight at once.
+        tensor_bytes_image = 4.0 * (
+            per_image.input_elements()
+            + per_image.output_elements()
+            + per_image.kernel_elements()
         )
 
         # ---- effective SIMD throughput --------------------------------------
@@ -120,15 +139,17 @@ class AnalyticalCostModel:
         utilization *= 0.25 + 0.75 * work_scale
 
         # Cache pressure: working sets that overflow the last-level cache force
-        # the inner kernels to run at memory speed part of the time.
+        # the inner kernels to run at memory speed part of the time.  The
+        # pressure is per image — a batch streams image working sets through
+        # the cache one after another, it does not hold them all at once.
         llc = platform.last_level_cache_bytes()
-        pressure = params.cache_pressure * (workspace_bytes + 0.5 * tensor_bytes) / llc
+        pressure = params.cache_pressure * (workspace_bytes + 0.5 * tensor_bytes_image) / llc
         utilization /= 1.0 + pressure
 
         # Inner working-set pressure: the per-core cache must hold whatever the
         # innermost stage keeps live (e.g. 2D Winograd's per-tile transformed
         # slabs); overflowing it stalls the inner loops on every pass.
-        inner_bytes = 4.0 * primitive.inner_working_set_elements(scenario)
+        inner_bytes = 4.0 * primitive.inner_working_set_elements(per_image)
         per_core = platform.per_core_cache_bytes()
         if inner_bytes > per_core:
             utilization /= 1.0 + params.inner_cache_pressure * (inner_bytes / per_core - 1.0)
@@ -136,8 +157,14 @@ class AnalyticalCostModel:
         compute_seconds = ops / (peak * max(utilization, 1e-3))
 
         # ---- memory time -------------------------------------------------------
-        traffic_bytes = tensor_bytes + params.workspace_traffic_weight * workspace_bytes
-        footprint = tensor_bytes + workspace_bytes
+        # Tensor traffic covers the whole batch already; the per-image
+        # workspace is written and read once per image.  The bandwidth tier is
+        # chosen from the *per-image* footprint, consistent with the streaming
+        # assumption above: a batch passes one image's working set through the
+        # cache at a time, so growing the batch scales the traffic linearly
+        # without demoting the whole layer to DRAM bandwidth.
+        traffic_bytes = tensor_bytes + params.workspace_traffic_weight * workspace_bytes * batch
+        footprint = tensor_bytes_image + workspace_bytes
         if footprint <= platform.per_core_cache_bytes():
             bandwidth = platform.cache_bandwidth_gbps
         elif footprint <= llc:
@@ -212,11 +239,22 @@ class AnalyticalCostModel:
     # -- layout transformations -------------------------------------------------------
 
     def transform_cost(
-        self, transform: LayoutTransform, shape: Tuple[int, int, int], threads: int = 1
+        self,
+        transform: LayoutTransform,
+        shape: Tuple[int, int, int],
+        threads: int = 1,
+        batch: int = 1,
     ) -> float:
-        """Modelled execution time (seconds) of one direct layout transformation."""
+        """Modelled execution time (seconds) of one direct layout transformation.
+
+        ``shape`` is the per-image ``(C, H, W)`` shape; a batched tensor moves
+        ``batch`` times the data in a single call, so the gather/scatter
+        traffic scales with the batch while the dispatch cost is paid once.
+        """
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
         platform = self.platform
-        bytes_moved = 4.0 * transform.element_traffic(*shape)
+        bytes_moved = 4.0 * batch * transform.element_traffic(*shape)
         bandwidth = platform.dram_bandwidth_gbps * platform.transform_efficiency * 1e9
         seconds = bytes_moved / bandwidth
         if threads > 1:

@@ -29,7 +29,16 @@ class CostModel(Protocol):
         ...
 
     def transform_cost(
-        self, transform: LayoutTransform, shape: Tuple[int, int, int], threads: int = 1
+        self,
+        transform: LayoutTransform,
+        shape: Tuple[int, int, int],
+        threads: int = 1,
+        batch: int = 1,
     ) -> float:
-        """Execution time, in seconds, of one direct layout transformation."""
+        """Execution time, in seconds, of one direct layout transformation.
+
+        ``shape`` is the per-image ``(C, H, W)`` tensor shape; ``batch`` is
+        the number of images converted in one call (the data moved scales
+        with it, per-call dispatch does not).
+        """
         ...

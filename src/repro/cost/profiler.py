@@ -51,7 +51,7 @@ class WallClockProfiler:
         self.warmup = warmup
         self._rng = np.random.default_rng(seed)
         self._primitive_cache: Dict[Tuple[str, ConvScenario, int], float] = {}
-        self._transform_cache: Dict[Tuple[str, Tuple[int, int, int], int], float] = {}
+        self._transform_cache: Dict[Tuple[str, Tuple[int, int, int], int, int], float] = {}
 
     # -- measurements ------------------------------------------------------------
 
@@ -67,9 +67,13 @@ class WallClockProfiler:
         key = (primitive.name, scenario, threads)
         if key in self._primitive_cache:
             return self._primitive_cache[key]
-        x = self._rng.standard_normal(scenario.input_shape).astype(np.float32)
         kernel = self._rng.standard_normal(scenario.kernel_shape).astype(np.float32)
-        tensor = LayoutTensor.from_chw(x, primitive.input_layout)
+        if scenario.batch > 1:
+            x = self._rng.standard_normal(scenario.batched_input_shape).astype(np.float32)
+            tensor = LayoutTensor.from_nchw(x, primitive.input_layout)
+        else:
+            x = self._rng.standard_normal(scenario.input_shape).astype(np.float32)
+            tensor = LayoutTensor.from_chw(x, primitive.input_layout)
         for _ in range(self.warmup):
             primitive.execute(tensor, kernel, scenario)
         best = float("inf")
@@ -81,14 +85,26 @@ class WallClockProfiler:
         return best
 
     def transform_cost(
-        self, transform: LayoutTransform, shape: Tuple[int, int, int], threads: int = 1
+        self,
+        transform: LayoutTransform,
+        shape: Tuple[int, int, int],
+        threads: int = 1,
+        batch: int = 1,
     ) -> float:
-        """Measured execution time (seconds) of one direct layout transformation."""
-        key = (transform.name, shape, threads)
+        """Measured execution time (seconds) of one direct layout transformation.
+
+        ``shape`` is the per-image shape; with ``batch > 1`` the conversion
+        is measured on a batched tensor (one call moving the whole batch).
+        """
+        key = (transform.name, shape, threads, batch)
         if key in self._transform_cache:
             return self._transform_cache[key]
-        x = self._rng.standard_normal(shape).astype(np.float32)
-        tensor = LayoutTensor.from_chw(x, transform.source)
+        if batch > 1:
+            x = self._rng.standard_normal((batch,) + shape).astype(np.float32)
+            tensor = LayoutTensor.from_nchw(x, transform.source)
+        else:
+            x = self._rng.standard_normal(shape).astype(np.float32)
+            tensor = LayoutTensor.from_chw(x, transform.source)
         for _ in range(self.warmup):
             transform.apply(tensor)
         best = float("inf")

@@ -45,9 +45,9 @@ from repro.primitives.registry import PrimitiveLibrary
 class CostQuery:
     """One request for cost tables.
 
-    ``(fingerprint, platform_name, threads)`` identifies the triple the tables
-    describe; the remaining fields carry the live components a provider needs
-    to build (or rebuild) them.
+    ``(fingerprint, platform_name, threads, batch)`` identifies the tuple the
+    tables describe; the remaining fields carry the live components a
+    provider needs to build (or rebuild) them.
     """
 
     network: Network
@@ -57,15 +57,20 @@ class CostQuery:
     threads: int
     library: PrimitiveLibrary
     dt_graph: DTGraph
+    batch: int = 1
 
     @property
-    def context_key(self) -> Tuple[str, str, int]:
-        """The (fingerprint, platform name, threads) triple of this query."""
-        return (self.fingerprint, self.platform_name, self.threads)
+    def context_key(self) -> Tuple[str, str, int, int]:
+        """The (fingerprint, platform name, threads, batch) tuple of this query."""
+        return (self.fingerprint, self.platform_name, self.threads, self.batch)
 
     def with_threads(self, threads: int) -> "CostQuery":
         """The same query at a different thread count."""
         return dataclasses.replace(self, threads=threads)
+
+    def with_batch(self, batch: int) -> "CostQuery":
+        """The same query at a different minibatch size."""
+        return dataclasses.replace(self, batch=batch)
 
 
 @runtime_checkable
@@ -118,6 +123,7 @@ class AnalyticalCostProvider:
             query.dt_graph,
             self.cost_model(query.platform),
             threads=query.threads,
+            batch=query.batch,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -158,6 +164,7 @@ class ProfiledCostProvider:
             query.dt_graph,
             self.profiler,
             threads=query.threads,
+            batch=query.batch,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -188,6 +195,7 @@ class CostModelProvider:
             query.dt_graph,
             self._cost_model,
             threads=query.threads,
+            batch=query.batch,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

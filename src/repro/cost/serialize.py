@@ -60,6 +60,7 @@ def cost_tables_to_dict(tables: CostTables) -> dict:
             "m": s.m,
             "padding": s.padding,
             "groups": s.groups,
+            "batch": s.batch,
         }
         for layer, s in tables.scenarios.items()
     }
@@ -85,6 +86,7 @@ def cost_tables_to_dict(tables: CostTables) -> dict:
         "format": COST_TABLE_FORMAT,
         "network": tables.network_name,
         "threads": tables.threads,
+        "batch": tables.batch,
         "scenarios": scenarios,
         "shapes": {layer: list(shape) for layer, shape in tables.shapes.items()},
         "node_costs": tables.node_costs,
@@ -150,6 +152,7 @@ def cost_tables_from_dict(document: dict, dt_graph: DTGraph) -> CostTables:
         node_costs=node_costs,
         dt_paths=dt_paths,
         dt_costs=dt_costs,
+        batch=int(document.get("batch", 1)),
     )
 
 
@@ -176,6 +179,7 @@ def plan_to_dict(plan: NetworkPlan) -> dict:
         "strategy": plan.strategy,
         "platform": plan.platform_name,
         "threads": plan.threads,
+        "batch": plan.batch,
         "layers": [
             {
                 "layer": d.layer,
@@ -217,6 +221,7 @@ def plan_from_dict(document: dict, dt_graph: DTGraph) -> NetworkPlan:
         strategy=document["strategy"],
         platform_name=document["platform"],
         threads=int(document["threads"]),
+        batch=int(document.get("batch", 1)),
     )
     for entry in document["layers"]:
         plan.layer_decisions[entry["layer"]] = LayerDecision(

@@ -6,7 +6,7 @@ before deployment, and ship them with the trained model".  The in-process
 caches of :class:`repro.api.Session` realize "profile once, select many"
 within one process; :class:`CostStore` extends it across processes: every
 produced table set is written to a cache directory as a JSON document keyed
-by ``(network fingerprint, platform, threads, provider name, provider
+by ``(network fingerprint, platform, threads, batch, provider name, provider
 version)``, and any later session pointed at the same directory loads the
 tables instead of re-profiling.
 
@@ -36,8 +36,12 @@ from repro.cost.tables import CostTables
 
 PathLike = Union[str, Path]
 
-#: Format identifier embedded in every store entry.
-STORE_ENTRY_FORMAT = "repro/cost-store-entry/v1"
+#: Format identifier embedded in every store entry.  v2 added ``batch`` to
+#: the key schema (and to the filename digest); bumping the version makes the
+#: skew explicit in both directions — v1 entries are skipped by
+#: :meth:`CostStore.entries` (and removed by :meth:`CostStore.clear`) instead
+#: of being half-parsed, and older checkouts reject v2 documents outright.
+STORE_ENTRY_FORMAT = "repro/cost-store-entry/v2"
 
 
 @dataclass(frozen=True)
@@ -53,6 +57,9 @@ class StoreKey:
     #: against — node costs are keyed by primitive name, so tables from a
     #: different library must not be served.
     components: str = ""
+    #: Minibatch size the tables were priced for.  Part of the key, so
+    #: batch-1 and batch-N tables never alias each other on disk.
+    batch: int = 1
 
     def digest(self) -> str:
         """A short stable digest of the full key (used in the filename)."""
@@ -64,6 +71,7 @@ class StoreKey:
                 self.provider,
                 self.provider_version,
                 self.components,
+                str(self.batch),
             )
         )
         return hashlib.sha256(text.encode()).hexdigest()[:16]
@@ -171,11 +179,12 @@ class CostStore:
             provider=self.provider.name,
             provider_version=self.provider.version,
             components=components_digest(query.library, query.dt_graph),
+            batch=query.batch,
         )
 
     def path_for(self, key: StoreKey) -> Path:
         """The JSON file one key is stored at (readable prefix + key digest)."""
-        prefix = f"{_slug(key.fingerprint)}_{_slug(key.platform)}_{key.threads}t"
+        prefix = f"{_slug(key.fingerprint)}_{_slug(key.platform)}_{key.threads}t_b{key.batch}"
         return self.cache_dir / f"{prefix}_{key.digest()}.json"
 
     def contains(self, query: CostQuery) -> bool:
@@ -184,10 +193,14 @@ class CostStore:
 
     # -- management ---------------------------------------------------------------
 
+    def _entry_files(self) -> List[Path]:
+        """Every ``*.json`` file in the cache directory, parseable or not."""
+        return sorted(self.cache_dir.glob("*.json"))
+
     def entries(self) -> List[StoreEntry]:
         """Every well-formed entry currently in the cache directory."""
         found: List[StoreEntry] = []
-        for path in sorted(self.cache_dir.glob("*.json")):
+        for path in self._entry_files():
             try:
                 document = json.loads(path.read_text())
             except (OSError, json.JSONDecodeError):
@@ -204,16 +217,33 @@ class CostStore:
         return found
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
+        """Delete every ``*.json`` file; returns the number of files removed.
+
+        Deliberately *not* built on :meth:`entries`, which silently skips
+        unparseable or old-format documents: after a format-version bump (or
+        a crash that left junk behind) those stale files must still be
+        removed, otherwise the directory stays dirty and the reported count
+        is wrong.  Leftover write-temporaries (``.*.tmp``) are removed too,
+        but only entry files count toward the return value.
+        """
         removed = 0
-        for entry in self.entries():
-            entry.path.unlink(missing_ok=True)
+        for path in self._entry_files():
+            path.unlink(missing_ok=True)
             removed += 1
+        for leftover in self.cache_dir.glob(".*.tmp"):
+            leftover.unlink(missing_ok=True)
         return removed
 
     def stats(self) -> StoreStats:
-        """This instance's hit/miss counters and the on-disk entry count."""
-        return StoreStats(hits=self._hits, misses=self._misses, entries=len(self.entries()))
+        """This instance's hit/miss counters and the on-disk file count.
+
+        Counts ``*.json`` files directly instead of JSON-parsing every entry
+        (the old behaviour, which both undercounted after format bumps and
+        read the whole directory just to produce a number).
+        """
+        return StoreStats(
+            hits=self._hits, misses=self._misses, entries=len(self._entry_files())
+        )
 
     # -- plumbing -----------------------------------------------------------------
 

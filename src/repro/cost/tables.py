@@ -37,11 +37,11 @@ Shape = Tuple[int, int, int]
 
 @dataclass
 class CostTables:
-    """Profiled node and edge cost data for one (network, platform, threads) triple."""
+    """Profiled node and edge cost data for one (network, platform, threads, batch) tuple."""
 
     network_name: str
     threads: int
-    #: Convolutional scenario of every convolution layer.
+    #: Convolutional scenario of every convolution layer (carrying the batch).
     scenarios: Dict[str, ConvScenario]
     #: Output tensor shape of every layer.
     shapes: Dict[str, Shape]
@@ -51,6 +51,8 @@ class CostTables:
     dt_paths: Dict[Shape, Dict[Tuple[str, str], DTPath]]
     #: tensor shape -> (source layout name, target layout name) -> cost in seconds.
     dt_costs: Dict[Shape, Dict[Tuple[str, str], float]]
+    #: Minibatch size the costs were produced for (1 = the paper's setting).
+    batch: int = 1
 
     def primitive_cost(self, layer: str, primitive: str) -> float:
         """Cost of implementing ``layer`` with ``primitive``."""
@@ -87,16 +89,25 @@ def build_cost_tables(
     dt_graph: DTGraph,
     cost_model: CostModel,
     threads: int = 1,
+    batch: int = 1,
 ) -> CostTables:
     """Profile a network against a primitive library on a cost model.
 
     For every convolution layer the cost of every *applicable* primitive is
     recorded; for every distinct tensor shape appearing on a data-flow edge
-    the all-pairs cheapest layout conversions are recorded.
+    the all-pairs cheapest layout conversions are recorded.  ``batch`` prices
+    the whole network for minibatches of that size: node costs are produced
+    from the batched scenarios and edge costs from batched conversions
+    (per-image shapes, whole-batch traffic).
     """
     if threads < 1:
         raise ValueError("threads must be >= 1")
-    scenarios = network.conv_scenarios()
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    scenarios = {
+        name: scenario.with_batch(batch)
+        for name, scenario in network.conv_scenarios().items()
+    }
     shapes = network.infer_shapes()
 
     node_costs: Dict[str, Dict[str, float]] = {}
@@ -121,7 +132,7 @@ def build_cost_tables(
         paths = dt_graph.all_pairs_shortest_paths(
             shape,
             cost_fn=lambda transform, s: cost_model.transform_cost(
-                transform, s, threads=threads
+                transform, s, threads=threads, batch=batch
             ),
         )
         dt_paths[shape] = paths
@@ -135,4 +146,5 @@ def build_cost_tables(
         node_costs=node_costs,
         dt_paths=dt_paths,
         dt_costs=dt_costs,
+        batch=batch,
     )

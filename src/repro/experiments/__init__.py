@@ -14,7 +14,10 @@ per-experiment index in DESIGN.md):
 * :mod:`repro.experiments.overhead` — section 5.4 (PBQP solve time);
 * :mod:`repro.experiments.pbqp_example` — Figure 2 (the worked PBQP example);
 * :mod:`repro.experiments.ablation` — the design-choice ablations called out
-  in DESIGN.md (DT-cost awareness, exact vs heuristic solving).
+  in DESIGN.md (DT-cost awareness, exact vs heuristic solving);
+* :mod:`repro.experiments.batch_scaling` — the post-paper batching study:
+  how the PBQP selections shift as the minibatch size grows, versus replaying
+  the batch-1 plan at larger batches.
 """
 
 from repro.experiments.whole_network import (
@@ -32,6 +35,11 @@ from repro.experiments.overhead import solver_overhead_report
 from repro.experiments.family_traits import family_traits_table
 from repro.experiments.pbqp_example import figure2_example
 from repro.experiments.ablation import dt_cost_ablation, solver_mode_ablation
+from repro.experiments.batch_scaling import (
+    BatchScalingResult,
+    replay_plan,
+    run_batch_scaling,
+)
 
 
 def __getattr__(name):
@@ -58,4 +66,7 @@ __all__ = [
     "figure2_example",
     "dt_cost_ablation",
     "solver_mode_ablation",
+    "BatchScalingResult",
+    "replay_plan",
+    "run_batch_scaling",
 ]

@@ -50,9 +50,15 @@ class ScaledTransformCostModel:
         return self.inner.primitive_cost(primitive, scenario, threads=threads)
 
     def transform_cost(
-        self, transform: LayoutTransform, shape: Tuple[int, int, int], threads: int = 1
+        self,
+        transform: LayoutTransform,
+        shape: Tuple[int, int, int],
+        threads: int = 1,
+        batch: int = 1,
     ) -> float:
-        return self.scale * self.inner.transform_cost(transform, shape, threads=threads)
+        return self.scale * self.inner.transform_cost(
+            transform, shape, threads=threads, batch=batch
+        )
 
 
 @dataclass

@@ -3,13 +3,19 @@
 Section 3 of the paper models a convolutional layer instance formally as the
 6-tuple ``{C, H, W, delta, K, M}``: the number of input feature maps, the
 input height and width, the stride, the kernel radix and the number of output
-feature maps.  The formulation does not consider minibatching (the application
-context is latency sensitive; batch size 1).
+feature maps.  The paper's evaluation is latency sensitive (batch size 1) but
+notes that minibatching is just one more integer parameter; this reproduction
+threads that parameter — ``batch`` — through the whole system, so selections
+can be studied as a function of batch size.
 
-:class:`ConvScenario` is that tuple, extended with the two extra attributes
-needed to describe the public AlexNet/VGG/GoogLeNet models exactly —
-``padding`` and ``groups`` — which do not change the structure of the
-selection problem (they only scale the amount of work).
+:class:`ConvScenario` is that tuple, extended with the three extra attributes
+needed to describe the public models exactly and to open the batching axis —
+``padding``, ``groups`` and ``batch``.  ``padding`` and ``groups`` do not
+change the structure of the selection problem (they only scale the amount of
+work); ``batch`` multiplies the per-image work exactly: all geometry
+(``out_h``/``out_w``, shapes) stays per-image, so a batch of ``n`` images
+costs precisely ``n`` times one image — no convolution windows, padding or
+Winograd tiles ever bleed across image boundaries.
 """
 
 from __future__ import annotations
@@ -40,6 +46,11 @@ class ConvScenario:
     groups:
         Grouped convolution factor (AlexNet's conv2/4/5 use ``groups=2``).
         ``c`` and ``m`` must both be divisible by ``groups``.
+    batch:
+        Number of images processed per invocation (minibatch size).  Geometry
+        stays per-image; work totals (:meth:`macs`, :meth:`input_elements`,
+        :meth:`output_elements`) scale exactly linearly in ``batch`` while the
+        kernel is shared across the whole batch.
     """
 
     c: int
@@ -50,9 +61,10 @@ class ConvScenario:
     m: int = 1
     padding: int = 0
     groups: int = 1
+    batch: int = 1
 
     def __post_init__(self) -> None:
-        for field_name in ("c", "h", "w", "stride", "k", "m", "groups"):
+        for field_name in ("c", "h", "w", "stride", "k", "m", "groups", "batch"):
             value = getattr(self, field_name)
             if value < 1:
                 raise ValueError(f"{field_name} must be >= 1, got {value}")
@@ -72,27 +84,37 @@ class ConvScenario:
 
     @property
     def out_h(self) -> int:
-        """Output feature-map height."""
+        """Output feature-map height (per image)."""
         return (self.h + 2 * self.padding - self.k) // self.stride + 1
 
     @property
     def out_w(self) -> int:
-        """Output feature-map width."""
+        """Output feature-map width (per image)."""
         return (self.w + 2 * self.padding - self.k) // self.stride + 1
 
     @property
     def input_shape(self) -> Tuple[int, int, int]:
-        """Logical input tensor shape ``(C, H, W)``."""
+        """Logical per-image input tensor shape ``(C, H, W)``."""
         return (self.c, self.h, self.w)
 
     @property
     def output_shape(self) -> Tuple[int, int, int]:
-        """Logical output tensor shape ``(M, out_H, out_W)``."""
+        """Logical per-image output tensor shape ``(M, out_H, out_W)``."""
         return (self.m, self.out_h, self.out_w)
 
     @property
+    def batched_input_shape(self) -> Tuple[int, int, int, int]:
+        """Logical batched input tensor shape ``(N, C, H, W)``."""
+        return (self.batch,) + self.input_shape
+
+    @property
+    def batched_output_shape(self) -> Tuple[int, int, int, int]:
+        """Logical batched output tensor shape ``(N, M, out_H, out_W)``."""
+        return (self.batch,) + self.output_shape
+
+    @property
     def kernel_shape(self) -> Tuple[int, int, int, int]:
-        """Kernel tensor shape ``(M, C/groups, K, K)``."""
+        """Kernel tensor shape ``(M, C/groups, K, K)`` (shared by the batch)."""
         return (self.m, self.c // self.groups, self.k, self.k)
 
     @property
@@ -111,6 +133,11 @@ class ConvScenario:
         return self.groups > 1
 
     @property
+    def is_batched(self) -> bool:
+        """Whether more than one image is processed per invocation."""
+        return self.batch > 1
+
+    @property
     def is_depthwise(self) -> bool:
         """Whether this is a depthwise convolution (one input channel per group).
 
@@ -127,37 +154,54 @@ class ConvScenario:
     def macs(self) -> int:
         """Multiply-accumulate count of the textbook direct convolution.
 
-        ``O(outH * outW * (C/groups) * K^2 * M)`` per the paper's complexity
-        statement (section 2.1), accounting for stride and grouping.
+        ``batch * O(outH * outW * (C/groups) * K^2 * M)`` per the paper's
+        complexity statement (section 2.1), accounting for stride, grouping
+        and minibatching.  A batch of ``n`` images costs exactly ``n`` times
+        one image.
         """
         per_group_c = self.c // self.groups
-        return self.out_h * self.out_w * per_group_c * self.k * self.k * self.m
+        per_image = self.out_h * self.out_w * per_group_c * self.k * self.k * self.m
+        return self.batch * per_image
 
     def flops(self) -> int:
         """Floating point operations (2 per MAC)."""
         return 2 * self.macs()
 
     def input_elements(self) -> int:
-        return self.c * self.h * self.w
+        """Input elements of the whole batch."""
+        return self.batch * self.c * self.h * self.w
 
     def output_elements(self) -> int:
-        return self.m * self.out_h * self.out_w
+        """Output elements of the whole batch."""
+        return self.batch * self.m * self.out_h * self.out_w
 
     def kernel_elements(self) -> int:
+        """Kernel elements (independent of batch: weights are shared)."""
         return self.m * (self.c // self.groups) * self.k * self.k
 
     # -- convenience ----------------------------------------------------------
 
-    def with_batch(self, batch: int) -> "ConvScenario":
-        """Future-work hook: fold a minibatch dimension into the width.
+    @property
+    def per_image(self) -> "ConvScenario":
+        """The equivalent single-image (batch-1) scenario."""
+        if self.batch == 1:
+            return self
+        return replace(self, batch=1)
 
-        The paper notes minibatching can be encoded by one more integer
-        parameter; for cost purposes a batch of ``n`` identical scenarios has
-        ``n`` times the work, which we model by scaling the height.
+    def with_batch(self, batch: int) -> "ConvScenario":
+        """The same scenario processing a minibatch of ``batch`` images.
+
+        The batch is an explicit axis, so per-image semantics are exact:
+        ``s.with_batch(n).macs() == n * s.per_image.macs()`` for every
+        scenario, including strided and padded ones.  (An earlier stub folded
+        the batch into the image height, which overcounts whenever stride,
+        padding or tiling interact with the image boundary — e.g. a stride-2
+        7x7/k3 scenario costs 7776 MACs for 4 images but 8424 when the four
+        images are stacked into one 28-row image.)
         """
         if batch < 1:
             raise ValueError("batch must be >= 1")
-        return replace(self, h=self.h * batch)
+        return replace(self, batch=batch)
 
     def describe(self) -> str:
         """Human-readable one-line description used in reports and figures."""
@@ -173,4 +217,6 @@ class ConvScenario:
             parts.append(f"pad={self.padding}")
         if self.groups != 1:
             parts.append(f"groups={self.groups}")
+        if self.batch != 1:
+            parts.append(f"N={self.batch}")
         return " ".join(parts)

@@ -6,12 +6,22 @@ layouts pad the channel dimension).  All primitives in
 :mod:`repro.primitives` consume and produce ``LayoutTensor`` values; the
 canonical interchange format is the ``CHW`` logical view obtained with
 :meth:`LayoutTensor.to_chw`.
+
+A tensor may additionally carry an explicit **batch** axis: ``batch=None``
+(the default) is a single image whose physical array is exactly
+``layout.physical_shape(C, H, W)``; ``batch=N`` prepends one outermost ``N``
+axis to that physical shape, i.e. the batch is stored as ``N`` consecutive
+per-image layouts (the ``(N, C, H, W)`` family of physical formats).  The
+batched interchange format is the ``(N, C, H, W)`` view of
+:meth:`LayoutTensor.to_nchw`; layout conversions treat the batch axis as
+purely elementwise, so every transform chain works unchanged on batched
+tensors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -25,32 +35,42 @@ class LayoutTensor:
     Attributes
     ----------
     data:
-        The physical numpy array, whose shape equals
-        ``layout.physical_shape(*logical_shape)``.
+        The physical numpy array.  For a single image its shape equals
+        ``layout.physical_shape(*logical_shape)``; for a batched tensor a
+        leading ``(batch,)`` axis is prepended.
     layout:
         The layout the data is stored in.
     logical_shape:
-        The logical ``(C, H, W)`` dimensions (excluding any block padding).
+        The logical per-image ``(C, H, W)`` dimensions (excluding any block
+        padding and excluding the batch axis).
+    batch:
+        ``None`` for a single image; the batch size ``N`` for a batched
+        tensor.
     """
 
     data: np.ndarray
     layout: Layout
     logical_shape: Tuple[int, int, int]
+    batch: Optional[int] = None
 
     def __post_init__(self) -> None:
         expected = self.layout.physical_shape(*self.logical_shape)
+        if self.batch is not None:
+            if self.batch < 1:
+                raise ValueError(f"batch must be >= 1 or None, got {self.batch}")
+            expected = (self.batch,) + expected
         if tuple(self.data.shape) != expected:
             raise ValueError(
                 f"array shape {tuple(self.data.shape)} does not match physical "
-                f"shape {expected} for layout {self.layout.name} and logical "
-                f"shape {self.logical_shape}"
+                f"shape {expected} for layout {self.layout.name}, logical "
+                f"shape {self.logical_shape} and batch {self.batch}"
             )
 
     # -- constructors -------------------------------------------------------
 
     @classmethod
     def from_chw(cls, array: np.ndarray, layout: Layout = CHW) -> "LayoutTensor":
-        """Build a tensor in ``layout`` from a canonical ``(C, H, W)`` array."""
+        """Build a single-image tensor in ``layout`` from a ``(C, H, W)`` array."""
         array = np.asarray(array)
         if array.ndim != 3:
             raise ValueError(f"expected a 3D (C, H, W) array, got ndim={array.ndim}")
@@ -59,25 +79,61 @@ class LayoutTensor:
         return cls(data=physical, layout=layout, logical_shape=(c, h, w))
 
     @classmethod
+    def from_nchw(cls, array: np.ndarray, layout: Layout = CHW) -> "LayoutTensor":
+        """Build a batched tensor in ``layout`` from an ``(N, C, H, W)`` array."""
+        array = np.asarray(array)
+        if array.ndim != 4:
+            raise ValueError(f"expected a 4D (N, C, H, W) array, got ndim={array.ndim}")
+        n, c, h, w = array.shape
+        physical = _chw_to_physical(array, layout)
+        return cls(data=physical, layout=layout, logical_shape=(c, h, w), batch=n)
+
+    @classmethod
     def zeros(
-        cls, logical_shape: Tuple[int, int, int], layout: Layout = CHW, dtype=np.float32
+        cls,
+        logical_shape: Tuple[int, int, int],
+        layout: Layout = CHW,
+        dtype=np.float32,
+        batch: Optional[int] = None,
     ) -> "LayoutTensor":
         """A zero tensor of the given logical shape in the given layout."""
-        physical = np.zeros(layout.physical_shape(*logical_shape), dtype=dtype)
-        return cls(data=physical, layout=layout, logical_shape=logical_shape)
+        physical_shape = layout.physical_shape(*logical_shape)
+        if batch is not None:
+            physical_shape = (batch,) + physical_shape
+        physical = np.zeros(physical_shape, dtype=dtype)
+        return cls(data=physical, layout=layout, logical_shape=logical_shape, batch=batch)
 
     # -- conversions --------------------------------------------------------
 
     def to_chw(self) -> np.ndarray:
-        """Return the canonical ``(C, H, W)`` view of the logical tensor."""
+        """Return the canonical ``(C, H, W)`` view of a single-image tensor."""
+        if self.batch is not None:
+            raise ValueError(
+                f"tensor is batched (batch={self.batch}); use to_nchw() instead"
+            )
+        return _physical_to_chw(self.data, self.layout, self.logical_shape)
+
+    def to_nchw(self) -> np.ndarray:
+        """Return the canonical ``(N, C, H, W)`` view of a batched tensor."""
+        if self.batch is None:
+            raise ValueError("tensor is not batched; use to_chw() instead")
+        return _physical_to_chw(self.data, self.layout, self.logical_shape)
+
+    def to_logical(self) -> np.ndarray:
+        """The canonical logical view: ``(C, H, W)`` or ``(N, C, H, W)``."""
         return _physical_to_chw(self.data, self.layout, self.logical_shape)
 
     def convert(self, layout: Layout) -> "LayoutTensor":
         """Return a copy of this tensor stored in another layout."""
         if layout == self.layout:
             return LayoutTensor(
-                data=self.data.copy(), layout=self.layout, logical_shape=self.logical_shape
+                data=self.data.copy(),
+                layout=self.layout,
+                logical_shape=self.logical_shape,
+                batch=self.batch,
             )
+        if self.batch is not None:
+            return LayoutTensor.from_nchw(self.to_nchw(), layout)
         return LayoutTensor.from_chw(self.to_chw(), layout)
 
     # -- niceties ------------------------------------------------------------
@@ -100,53 +156,70 @@ class LayoutTensor:
 
     def allclose(self, other: "LayoutTensor", rtol: float = 1e-5, atol: float = 1e-6) -> bool:
         """Compare two layout tensors by their logical contents."""
-        if self.logical_shape != other.logical_shape:
+        if self.logical_shape != other.logical_shape or self.batch != other.batch:
             return False
-        return np.allclose(self.to_chw(), other.to_chw(), rtol=rtol, atol=atol)
+        return np.allclose(self.to_logical(), other.to_logical(), rtol=rtol, atol=atol)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        batch = "" if self.batch is None else f", batch={self.batch}"
         return (
-            f"LayoutTensor(layout={self.layout.name}, logical_shape={self.logical_shape}, "
-            f"dtype={self.data.dtype})"
+            f"LayoutTensor(layout={self.layout.name}, logical_shape={self.logical_shape}"
+            f"{batch}, dtype={self.data.dtype})"
         )
 
 
 # ---------------------------------------------------------------------------
 # Physical <-> logical conversion helpers.
+#
+# Both helpers accept an optional leading batch axis: a 4D (N, C, H, W)
+# logical array maps to a physical array with the same leading N, and the
+# per-image layout permutation / blocking applies to the trailing axes.
 # ---------------------------------------------------------------------------
 
 
 def _chw_to_physical(array: np.ndarray, layout: Layout) -> np.ndarray:
-    """Convert a canonical (C, H, W) array into the physical array of a layout."""
-    c, h, w = array.shape
+    """Convert a canonical (C, H, W) or (N, C, H, W) array into physical form."""
+    lead = array.ndim - 3  # 0 for a single image, 1 for a batched tensor
+    c, h, w = array.shape[lead:]
     if layout.channel_block is None:
-        perm = tuple("CHW".index(a) for a in layout.order)
+        perm = tuple(range(lead)) + tuple(lead + "CHW".index(a) for a in layout.order)
         return np.ascontiguousarray(np.transpose(array, perm))
     block = layout.channel_block
     blocks = -(-c // block)
-    padded = np.zeros((blocks * block, h, w), dtype=array.dtype)
-    padded[:c] = array
-    # Shape (blocks, block, H, W) then move the block to the innermost axis and
-    # reorder the outer axes according to the layout permutation of (Cb, H, W).
-    grouped = padded.reshape(blocks, block, h, w)
+    padded = np.zeros(array.shape[:lead] + (blocks * block, h, w), dtype=array.dtype)
+    padded[..., :c, :, :] = array
+    # Shape (..., blocks, block, H, W) then move the block to the innermost
+    # axis and reorder the outer axes according to the layout permutation of
+    # (Cb, H, W).
+    grouped = padded.reshape(array.shape[:lead] + (blocks, block, h, w))
     sizes = {"C": 0, "H": 2, "W": 3}
-    outer_axes = tuple(sizes[a] for a in layout.order)
-    return np.ascontiguousarray(np.transpose(grouped, outer_axes + (1,)))
+    outer_axes = (
+        tuple(range(lead))
+        + tuple(lead + sizes[a] for a in layout.order)
+        + (lead + 1,)
+    )
+    return np.ascontiguousarray(np.transpose(grouped, outer_axes))
 
 
 def _physical_to_chw(
     physical: np.ndarray, layout: Layout, logical_shape: Tuple[int, int, int]
 ) -> np.ndarray:
-    """Convert a physical array back into the canonical (C, H, W) view."""
+    """Convert a physical array back into the canonical (C, H, W) / (N, C, H, W) view."""
     c, h, w = logical_shape
+    per_image_ndim = 4 if layout.channel_block is not None else 3
+    lead = physical.ndim - per_image_ndim
     if layout.channel_block is None:
-        inverse = tuple(layout.order.index(a) for a in "CHW")
+        inverse = tuple(range(lead)) + tuple(
+            lead + layout.order.index(a) for a in "CHW"
+        )
         return np.ascontiguousarray(np.transpose(physical, inverse))
     block = layout.channel_block
-    # Physical shape is outer-permutation of (Cb, H, W) plus trailing block.
+    # Per-image physical shape is outer-permutation of (Cb, H, W) plus trailing block.
     positions = {axis: i for i, axis in enumerate(layout.order)}
-    restore = (positions["C"], len(layout.order), positions["H"], positions["W"])
-    grouped = np.transpose(physical, restore)  # (Cb, block, H, W)
-    blocks = grouped.shape[0]
-    flat = grouped.reshape(blocks * block, h, w)
-    return np.ascontiguousarray(flat[:c])
+    restore = tuple(range(lead)) + tuple(
+        lead + i for i in (positions["C"], len(layout.order), positions["H"], positions["W"])
+    )
+    grouped = np.transpose(physical, restore)  # (..., Cb, block, H, W)
+    blocks = grouped.shape[lead]
+    flat = grouped.reshape(physical.shape[:lead] + (blocks * block, h, w))
+    return np.ascontiguousarray(flat[..., :c, :, :])

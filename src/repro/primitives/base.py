@@ -19,7 +19,7 @@ C/assembly kernels on the paper's two hardware platforms (see DESIGN.md).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Tuple
 
 import numpy as np
@@ -131,7 +131,13 @@ class ConvPrimitive:
         return float(scenario.flops())
 
     def workspace_elements(self, scenario: ConvScenario) -> float:
-        """Extra scratch elements allocated beyond input, kernel and output."""
+        """Extra scratch elements allocated beyond input, kernel and output.
+
+        This is the *per-image* scratch footprint: batched execution streams
+        the images of a minibatch through the same buffers, so the allocation
+        does not grow with the batch (the traffic through it does — see
+        :meth:`memory_traffic_elements`).
+        """
         return 0.0
 
     def inner_working_set_elements(self, scenario: ConvScenario) -> float:
@@ -150,13 +156,18 @@ class ConvPrimitive:
         return 0.0
 
     def memory_traffic_elements(self, scenario: ConvScenario) -> float:
-        """Tensor elements moved to/from memory, including workspace traffic."""
+        """Tensor elements moved to/from memory, including workspace traffic.
+
+        Input and output elements already scale with the scenario's batch;
+        the kernel is read once per invocation regardless of batch, and the
+        per-image workspace is written and read once per image.
+        """
         base = (
             scenario.input_elements()
             + scenario.output_elements()
             + scenario.kernel_elements()
         )
-        return float(base) + 2.0 * self.workspace_elements(scenario)
+        return float(base) + 2.0 * scenario.batch * self.workspace_elements(scenario)
 
     # -- execution ---------------------------------------------------------------
 
@@ -169,8 +180,9 @@ class ConvPrimitive:
         """Run the primitive.
 
         ``tensor`` must be stored in :attr:`input_layout`; the kernel is a
-        ``(M, C/groups, K, K)`` array; the result is produced in
-        :attr:`output_layout`.
+        ``(M, C/groups, K, K)`` array shared by every image of the batch; the
+        result is produced in :attr:`output_layout`.  A batched scenario
+        requires a batched tensor of the same batch size and vice versa.
         """
         if not self.supports(scenario):
             raise UnsupportedScenarioError(
@@ -192,6 +204,26 @@ class ConvPrimitive:
                 f"kernel shape {kernel.shape} does not match scenario kernel "
                 f"shape {scenario.kernel_shape}"
             )
+        if tensor.batch is not None:
+            if tensor.batch != scenario.batch:
+                raise ValueError(
+                    f"input tensor batch {tensor.batch} does not match "
+                    f"scenario batch {scenario.batch}"
+                )
+            out_nchw = self._run_batched(tensor.to_nchw(), kernel, scenario.per_image)
+            expected_batched = scenario.batched_output_shape
+            if out_nchw.shape != expected_batched:
+                raise RuntimeError(
+                    f"{self.name} produced shape {out_nchw.shape}, expected {expected_batched}"
+                )
+            return LayoutTensor.from_nchw(
+                out_nchw.astype(tensor.dtype, copy=False), self.output_layout
+            )
+        if scenario.batch != 1:
+            raise ValueError(
+                f"scenario has batch {scenario.batch} but the input tensor is "
+                "not batched; build it with LayoutTensor.from_nchw"
+            )
         x_chw = tensor.to_chw()
         out_chw = self._run_grouped(x_chw, kernel, scenario)
         expected = scenario.output_shape
@@ -202,6 +234,41 @@ class ConvPrimitive:
         return LayoutTensor.from_chw(out_chw.astype(tensor.dtype, copy=False), self.output_layout)
 
     # -- helpers for subclasses ----------------------------------------------------
+
+    def _run_batched(
+        self, x_nchw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario
+    ) -> np.ndarray:
+        """Compute a batched convolution; ``scenario`` is the per-image scenario.
+
+        Ungrouped scenarios first try the family's vectorized
+        :meth:`_compute_batch` path; everything else (and families without
+        one) falls back to a per-image loop over :meth:`_run_grouped`, which
+        is correct for every family but pays Python-loop overhead once per
+        image.  The whole-batch input is only padded when the family actually
+        overrides the fast path — the fallback pads per image.
+        """
+        has_fast_path = type(self)._compute_batch is not ConvPrimitive._compute_batch
+        if scenario.groups == 1 and has_fast_path:
+            padded, inner = _pad_scenario(x_nchw, scenario)
+            fast = self._compute_batch(padded, kernel, inner)
+            if fast is not None:
+                return fast
+        return np.stack(
+            [self._run_grouped(x_nchw[i], kernel, scenario) for i in range(x_nchw.shape[0])]
+        )
+
+    def _compute_batch(
+        self, x_nchw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario
+    ) -> Optional[np.ndarray]:
+        """Optional vectorized path over the batch axis.
+
+        ``x_nchw`` is already padded and ``scenario`` is the per-image
+        scenario with ``padding=0`` and ``groups=1``.  Families whose loop
+        structure vectorizes naturally across images override this to return
+        the ``(N, M, out_H, out_W)`` result; the ``None`` default falls back
+        to the per-image loop.
+        """
+        return None
 
     def _run_grouped(
         self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario
@@ -292,21 +359,19 @@ def depthwise_shifted_accumulation(
 
 
 def _pad_scenario(
-    x_chw: np.ndarray, scenario: ConvScenario
+    x: np.ndarray, scenario: ConvScenario
 ) -> Tuple[np.ndarray, ConvScenario]:
-    """Zero-pad the input and return the equivalent padding-free scenario."""
+    """Zero-pad the spatial axes and return the equivalent padding-free scenario.
+
+    Works on a single ``(C, H, W)`` image or a batched ``(N, C, H, W)``
+    tensor: only the trailing two (spatial) axes are padded.
+    """
     if scenario.padding == 0:
-        return x_chw, scenario
+        return x, scenario
     pad = scenario.padding
-    padded = np.pad(x_chw, ((0, 0), (pad, pad), (pad, pad)), mode="constant")
-    inner = ConvScenario(
-        c=scenario.c,
-        h=scenario.h + 2 * pad,
-        w=scenario.w + 2 * pad,
-        stride=scenario.stride,
-        k=scenario.k,
-        m=scenario.m,
-        padding=0,
-        groups=scenario.groups,
+    widths = ((0, 0),) * (x.ndim - 2) + ((pad, pad), (pad, pad))
+    padded = np.pad(x, widths, mode="constant")
+    inner = replace(
+        scenario, h=scenario.h + 2 * pad, w=scenario.w + 2 * pad, padding=0
     )
     return padded, inner

@@ -195,8 +195,11 @@ class Winograd2DPrimitive(_WinogradBase):
         output_transform = tiles * filters * 2.0 * (m * n * n + m * m * n)
         # The kernel transform is not charged: weights are static, so the
         # transformed kernels are produced once at deployment time and shipped
-        # with the model (like the paper's cost tables).
-        return scenario.groups * (elementwise + input_transform + output_transform)
+        # with the model (like the paper's cost tables).  Every remaining term
+        # is per-image work, so the total scales with the batch.
+        return scenario.batch * scenario.groups * (
+            elementwise + input_transform + output_transform
+        )
 
     def workspace_elements(self, scenario: ConvScenario) -> float:
         n = self.tile_input
@@ -303,8 +306,11 @@ class Winograd1DPrimitive(_WinogradBase):
         elementwise = 2.0 * per_row_sites * n * c * filters
         input_transform = per_row_sites * c * 2.0 * n * n
         output_transform = per_row_sites * filters * 2.0 * m_tile * n
-        # Kernel-row transforms are precomputed at deployment time (static weights).
-        return scenario.groups * r * (elementwise + input_transform + output_transform)
+        # Kernel-row transforms are precomputed at deployment time (static
+        # weights); the remaining per-image work scales with the batch.
+        return scenario.batch * scenario.groups * r * (
+            elementwise + input_transform + output_transform
+        )
 
     def workspace_elements(self, scenario: ConvScenario) -> float:
         n = self.tile_input

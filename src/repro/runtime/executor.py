@@ -5,7 +5,9 @@ generator which emitted calls to primitive operations in our library": it
 walks the plan's layers in topological order, converts tensors between data
 layouts exactly where the legalizer placed conversion chains, runs the
 selected convolution primitive for each convolution layer, and uses the
-reference operators for everything else.
+reference operators for everything else.  Inputs may be a single ``(C, H, W)``
+image or an ``(N, C, H, W)`` minibatch; batched runs thread the ``N`` axis
+through every primitive, layout conversion and reference operator.
 """
 
 from __future__ import annotations
@@ -45,6 +47,8 @@ class ExecutionTrace:
     layer_order: List[str] = field(default_factory=list)
     conversions_executed: int = 0
     wall_seconds: float = 0.0
+    #: Number of images in the forward pass (1 for a single-image run).
+    batch: int = 1
     #: Layer name -> measured compute time (seconds), conversions excluded.
     layer_seconds: Dict[str, float] = field(default_factory=dict)
     #: (producer, consumer) -> measured time (seconds) of the edge's
@@ -57,6 +61,18 @@ class ExecutionTrace:
     def total_conversion_seconds(self) -> float:
         """Total measured time spent in layout conversions."""
         return sum(self.conversion_seconds.values())
+
+    @property
+    def conversion_seconds_per_image(self) -> Dict[Tuple[str, str], float]:
+        """Per-image conversion cost of every executed chain.
+
+        A batched conversion moves the whole minibatch in one call; dividing
+        by the batch gives the per-image accounting the batch-scaling studies
+        compare against single-image runs.
+        """
+        return {
+            edge: seconds / self.batch for edge, seconds in self.conversion_seconds.items()
+        }
 
 
 class NetworkExecutor:
@@ -139,12 +155,18 @@ class NetworkExecutor:
     ) -> tuple[Union[np.ndarray, Dict[str, np.ndarray]], ExecutionTrace]:
         """Execute one forward pass, returning the output and an execution trace.
 
-        A single-output network returns its output array directly (the common
-        fast path); a multi-output network returns ``{layer name: output}``
-        covering *every* output layer, so no result is silently dropped.
+        The input is either a single ``(C, H, W)`` image or a batched
+        ``(N, C, H, W)`` minibatch; a batched run carries the ``N`` axis
+        through every primitive, conversion and reference operator and
+        returns ``(N, ...)`` outputs.  A single-output network returns its
+        output array directly (the common fast path); a multi-output network
+        returns ``{layer name: output}`` covering *every* output layer, so no
+        result is silently dropped.
         """
         input_chw = np.asarray(input_chw, dtype=np.float32)
-        trace = ExecutionTrace()
+        batched = input_chw.ndim == 4
+        batch = input_chw.shape[0] if batched else 1
+        trace = ExecutionTrace(batch=batch)
         start = time.perf_counter()
         tensors: Dict[str, LayoutTensor] = {}
         # A producer feeding several consumers that demand the same target
@@ -178,41 +200,57 @@ class NetworkExecutor:
 
             layer_start = time.perf_counter()
             if isinstance(layer, InputLayer):
-                if input_chw.shape != layer.shape:
+                expected = (batch,) + layer.shape if batched else layer.shape
+                if input_chw.shape != expected:
                     raise ValueError(
-                        f"input has shape {input_chw.shape}, expected {layer.shape}"
+                        f"input has shape {input_chw.shape}, expected {expected}"
                     )
-                output = LayoutTensor.from_chw(input_chw, decision.output_layout)
+                output = self._from_logical(input_chw, decision.output_layout)
             elif isinstance(layer, ConvLayer):
                 primitive = self.library.get(decision.primitive)
                 kernel = self.weights.conv_weights(layer.name)
-                output = primitive.execute(inputs[0], kernel, self._scenarios[layer.name])
+                scenario = self._scenarios[layer.name]
+                if batched:
+                    scenario = scenario.with_batch(batch)
+                output = primitive.execute(inputs[0], kernel, scenario)
             else:
-                output_chw = self._run_reference(layer, [t.to_chw() for t in inputs])
-                output = LayoutTensor.from_chw(
-                    output_chw.astype(np.float32, copy=False), decision.output_layout
+                output_logical = self._run_reference(layer, [t.to_logical() for t in inputs])
+                output = self._from_logical(
+                    output_logical.astype(np.float32, copy=False), decision.output_layout
                 )
             trace.layer_seconds[layer.name] = time.perf_counter() - layer_start
 
             tensors[layer.name] = output
             trace.layer_order.append(layer.name)
             if keep_outputs:
-                trace.outputs[layer.name] = output.to_chw()
+                trace.outputs[layer.name] = output.to_logical()
 
         outputs = self.network.output_layers()
         if len(outputs) == 1:
             final: Union[np.ndarray, Dict[str, np.ndarray]] = tensors[
                 outputs[0].name
-            ].to_chw()
+            ].to_logical()
         else:
-            final = {layer.name: tensors[layer.name].to_chw() for layer in outputs}
+            final = {layer.name: tensors[layer.name].to_logical() for layer in outputs}
         trace.wall_seconds = time.perf_counter() - start
         return final, trace
+
+    @staticmethod
+    def _from_logical(array: np.ndarray, layout) -> LayoutTensor:
+        """Wrap a (C, H, W) or (N, C, H, W) array as a tensor in ``layout``."""
+        if array.ndim == 4:
+            return LayoutTensor.from_nchw(array, layout)
+        return LayoutTensor.from_chw(array, layout)
 
     # -- helpers ------------------------------------------------------------------
 
     def _run_reference(self, layer, inputs: List[np.ndarray]) -> np.ndarray:
-        """Evaluate a non-convolution layer with the reference operators."""
+        """Evaluate a non-convolution layer with the reference operators.
+
+        ``inputs`` are canonical logical arrays — ``(C, H, W)`` or batched
+        ``(N, C, H, W)``; every reference operator handles the leading batch
+        axis transparently.
+        """
         output_shape = self._shapes[layer.name]
         if isinstance(layer, ReLULayer):
             return reference_ops.relu(inputs[0])

@@ -3,7 +3,8 @@
 The primitive-selection formulation treats these layers as zero-cost dummy
 nodes (paper section 5.2), but the functional runtime still has to execute
 them to run whole networks end to end.  All operators work on canonical
-``(C, H, W)`` numpy arrays.
+``(C, H, W)`` numpy arrays and transparently accept a leading batch axis
+(``(N, C, H, W)``), applying the layer independently to every image.
 """
 
 from __future__ import annotations
@@ -11,6 +12,11 @@ from __future__ import annotations
 from typing import Sequence, Tuple
 
 import numpy as np
+
+#: Axes of the per-image (C, H, W) block, counted from the end so the same
+#: indexing works with and without a leading batch axis.
+_CHANNEL_AXIS = -3
+_IMAGE_AXES = (-3, -2, -1)
 
 
 def relu(x: np.ndarray) -> np.ndarray:
@@ -21,18 +27,21 @@ def relu(x: np.ndarray) -> np.ndarray:
 def _pool_windows(
     x: np.ndarray, kernel: int, stride: int, padding: int, out_h: int, out_w: int, pad_value: float
 ) -> np.ndarray:
-    """Gather pooling windows into a (C, out_h, out_w, kernel*kernel) array."""
-    c, h, w = x.shape
+    """Gather pooling windows into a (..., C, out_h, out_w, kernel*kernel) array."""
+    lead = x.shape[:-3]
+    c, h, w = x.shape[-3:]
     padded = np.full(
-        (c, h + 2 * padding + kernel, w + 2 * padding + kernel), pad_value, dtype=x.dtype
+        lead + (c, h + 2 * padding + kernel, w + 2 * padding + kernel),
+        pad_value,
+        dtype=x.dtype,
     )
-    padded[:, padding : padding + h, padding : padding + w] = x
-    windows = np.empty((c, out_h, out_w, kernel * kernel), dtype=x.dtype)
+    padded[..., padding : padding + h, padding : padding + w] = x
+    windows = np.empty(lead + (c, out_h, out_w, kernel * kernel), dtype=x.dtype)
     index = 0
     for kh in range(kernel):
         for kw in range(kernel):
-            windows[:, :, :, index] = padded[
-                :,
+            windows[..., index] = padded[
+                ...,
                 kh : kh + (out_h - 1) * stride + 1 : stride,
                 kw : kw + (out_w - 1) * stride + 1 : stride,
             ]
@@ -50,7 +59,7 @@ def max_pool(
     """Max pooling with Caffe-compatible output geometry supplied by the caller."""
     _, out_h, out_w = output_shape
     windows = _pool_windows(x, kernel, stride, padding, out_h, out_w, pad_value=-np.inf)
-    return windows.max(axis=3)
+    return windows.max(axis=-1)
 
 
 def average_pool(
@@ -63,48 +72,52 @@ def average_pool(
     """Average pooling (zero padded, dividing by the full window size)."""
     _, out_h, out_w = output_shape
     windows = _pool_windows(x, kernel, stride, padding, out_h, out_w, pad_value=0.0)
-    return windows.sum(axis=3) / float(kernel * kernel)
+    return windows.sum(axis=-1) / float(kernel * kernel)
 
 
 def local_response_norm(
     x: np.ndarray, local_size: int = 5, alpha: float = 1e-4, beta: float = 0.75, k: float = 1.0
 ) -> np.ndarray:
     """AlexNet-style across-channel local response normalization."""
-    c = x.shape[0]
+    c = x.shape[_CHANNEL_AXIS]
     squared = x**2
     half = local_size // 2
     scale = np.full_like(x, k)
     for channel in range(c):
         lo = max(0, channel - half)
         hi = min(c, channel + half + 1)
-        scale[channel] += (alpha / local_size) * squared[lo:hi].sum(axis=0)
+        scale[..., channel, :, :] += (alpha / local_size) * squared[..., lo:hi, :, :].sum(
+            axis=_CHANNEL_AXIS
+        )
     return x / scale**beta
 
 
 def fully_connected(x: np.ndarray, weights: np.ndarray, bias: np.ndarray) -> np.ndarray:
-    """Inner-product layer: flattens the input and applies ``W x + b``.
+    """Inner-product layer: flattens each image and applies ``W x + b``.
 
-    Returns a ``(out_features, 1, 1)`` tensor to keep the 3D logical shape.
+    Returns an ``(out_features, 1, 1)`` tensor per image to keep the 3D
+    logical shape (with the batch axis preserved when present).
     """
-    flat = x.reshape(-1)
-    if weights.shape[1] != flat.size:
+    lead = x.shape[:-3]
+    flat = x.reshape(lead + (-1,))
+    if weights.shape[1] != flat.shape[-1]:
         raise ValueError(
-            f"weight matrix expects {weights.shape[1]} inputs, got {flat.size}"
+            f"weight matrix expects {weights.shape[1]} inputs, got {flat.shape[-1]}"
         )
-    out = weights @ flat + bias
-    return out.reshape(-1, 1, 1)
+    out = flat @ weights.T + bias
+    return out.reshape(lead + (-1, 1, 1))
 
 
 def softmax(x: np.ndarray) -> np.ndarray:
-    """Numerically stable softmax over the channel dimension."""
-    shifted = x - x.max()
+    """Numerically stable softmax over each image's elements."""
+    shifted = x - x.max(axis=_IMAGE_AXES, keepdims=True)
     exps = np.exp(shifted)
-    return exps / exps.sum()
+    return exps / exps.sum(axis=_IMAGE_AXES, keepdims=True)
 
 
 def concat_channels(inputs: Sequence[np.ndarray]) -> np.ndarray:
     """Channel-wise concatenation (the inception join)."""
-    return np.concatenate(list(inputs), axis=0)
+    return np.concatenate(list(inputs), axis=_CHANNEL_AXIS)
 
 
 def eltwise_add(inputs: Sequence[np.ndarray]) -> np.ndarray:
@@ -122,5 +135,5 @@ def eltwise_add(inputs: Sequence[np.ndarray]) -> np.ndarray:
 
 
 def flatten(x: np.ndarray) -> np.ndarray:
-    """Flatten to a ``(C*H*W, 1, 1)`` tensor."""
-    return x.reshape(-1, 1, 1)
+    """Flatten each image to a ``(C*H*W, 1, 1)`` tensor (batch axis preserved)."""
+    return x.reshape(x.shape[:-3] + (-1, 1, 1))

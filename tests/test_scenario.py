@@ -70,15 +70,47 @@ class TestGeometry:
     def test_with_batch_scales_work(self):
         s = ConvScenario(c=4, h=8, w=8, k=3, m=8, padding=1)
         batched = s.with_batch(4)
-        assert batched.macs() == pytest.approx(4 * s.macs(), rel=0.1)
+        assert batched.macs() == 4 * s.macs()
         with pytest.raises(ValueError):
             s.with_batch(0)
 
+    def test_with_batch_is_exact_for_strided_scenarios(self):
+        # Regression: the old stub folded the batch into the image height,
+        # which lets stride-2 windows straddle image boundaries — the issue's
+        # example scenario costs 7776 MACs for 4 images, not 8424.
+        s = ConvScenario(c=3, h=7, w=7, k=3, stride=2, m=8)
+        assert s.macs() == 1944
+        assert s.with_batch(4).macs() == 4 * s.macs() == 7776
+
+    def test_with_batch_is_exact_for_padded_scenarios(self):
+        # Padding applies per image; height folding would also pad between
+        # the stacked images and overcount the boundary windows.
+        s = ConvScenario(c=4, h=9, w=9, k=3, stride=2, m=8, padding=1)
+        for n in (2, 3, 16):
+            assert s.with_batch(n).macs() == n * s.macs()
+
+    def test_with_batch_keeps_per_image_geometry(self):
+        s = ConvScenario(c=4, h=8, w=8, k=3, m=8, padding=1)
+        batched = s.with_batch(8)
+        assert batched.output_shape == s.output_shape
+        assert batched.input_shape == s.input_shape
+        assert batched.batched_input_shape == (8, 4, 8, 8)
+        assert batched.batched_output_shape == (8,) + s.output_shape
+        assert batched.kernel_elements() == s.kernel_elements()
+        assert batched.input_elements() == 8 * s.input_elements()
+        assert batched.output_elements() == 8 * s.output_elements()
+        assert batched.is_batched and not s.is_batched
+        assert batched.per_image == s
+        assert s.per_image is s
+
     def test_describe_mentions_all_fields(self):
-        s = ConvScenario(c=4, h=8, w=9, stride=2, k=3, m=8, padding=1, groups=2)
+        s = ConvScenario(c=4, h=8, w=9, stride=2, k=3, m=8, padding=1, groups=2, batch=4)
         text = s.describe()
-        for token in ("C=4", "H=8", "W=9", "stride=2", "K=3", "M=8", "pad=1", "groups=2"):
+        for token in (
+            "C=4", "H=8", "W=9", "stride=2", "K=3", "M=8", "pad=1", "groups=2", "N=4",
+        ):
             assert token in text
+        assert "N=" not in s.per_image.describe()
 
     def test_frozen(self):
         s = ConvScenario(c=4, h=8, w=8, k=3, m=8, padding=1)
