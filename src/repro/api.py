@@ -43,7 +43,7 @@ from repro.core.strategies import (
     applicable_strategies,
     get_strategy,
 )
-from repro.cost.platform import PLATFORMS, Platform
+from repro.cost.platform import Platform, get_platform
 from repro.cost.provider import AnalyticalCostProvider, CostProvider, CostQuery
 from repro.cost.serialize import load_plan, plan_from_dict, plan_to_dict, save_plan
 from repro.cost.store import CostStore
@@ -545,12 +545,7 @@ class Session:
             return None, self.provider.name
         if isinstance(platform, Platform):
             return platform, platform.name
-        try:
-            resolved = PLATFORMS[platform]
-        except KeyError:
-            raise KeyError(
-                f"unknown platform {platform!r}; available platforms: {sorted(PLATFORMS)}"
-            ) from None
+        resolved = get_platform(platform)
         return resolved, resolved.name
 
     def _resolve_network(self, model: ModelLike) -> Tuple[str, Network]:

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Seven subcommands cover the workflows a downstream user needs:
+Eight subcommands cover the workflows a downstream user needs:
 
 * ``repro select``  — run one selection strategy for a zoo model on a modelled
   platform (default: the paper's PBQP pipeline) and print (or save) the plan;
@@ -11,6 +11,8 @@ Seven subcommands cover the workflows a downstream user needs:
 * ``repro cache``   — inspect or clear a persistent cost-table store;
 * ``repro figures`` — regenerate the full set of whole-network figures;
 * ``repro tables``  — regenerate the absolute-time tables (Tables 2 and 3);
+* ``repro platforms`` — list every registered platform with its calibration
+  factors (the registry is open: see :mod:`repro.cost.platform`);
 * ``repro list``    — list the available models, platforms and registered
   selection strategies.
 
@@ -33,10 +35,11 @@ from typing import Optional, Sequence
 
 from repro.api import Session
 from repro.core.strategies import STRATEGIES, registered_names
-from repro.cost.platform import PLATFORMS
+from repro.cost.platform import PLATFORMS, get_platform, list_platforms
 from repro.cost.store import CostStore
 from repro.experiments.tables import format_absolute_table, run_absolute_time_table
 from repro.experiments.whole_network import (
+    DEFAULT_FIGURE_NETWORKS,
     FIGURE_NETWORKS,
     format_speedup_table,
     run_whole_network,
@@ -73,12 +76,25 @@ def _resolve_model(parser: argparse.ArgumentParser, args: argparse.Namespace) ->
 
 
 def _add_platform_argument(parser: argparse.ArgumentParser) -> None:
+    # Deliberately not `choices=...`: the platform registry is open (user
+    # code can register platforms before invoking main), so validation goes
+    # through the registry at dispatch time — see _resolve_platform — and
+    # the error message lists whatever is registered *then*.
     parser.add_argument(
         "--platform",
-        choices=sorted(PLATFORMS),
         default="intel-haswell",
-        help="modelled hardware platform (default: intel-haswell)",
+        help="modelled hardware platform, as listed by 'repro platforms' "
+        "(default: intel-haswell)",
     )
+
+
+def _resolve_platform(args: argparse.Namespace):
+    """Resolve ``--platform`` through the registry (exits 2 with the valid names)."""
+    try:
+        return get_platform(args.platform)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def _add_threads_argument(parser: argparse.ArgumentParser) -> None:
@@ -183,6 +199,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     tables = subparsers.add_parser("tables", help="regenerate the absolute-time tables (2/3)")
     _add_platform_argument(tables)
+
+    subparsers.add_parser(
+        "platforms",
+        help="list every registered platform with its calibration factors",
+    )
 
     subparsers.add_parser(
         "list", help="list available models, platforms and registered strategies"
@@ -309,9 +330,29 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_platforms(args: argparse.Namespace) -> int:
+    header = (
+        f"  {'name':<16} {'cores':>5} {'GHz':>5} {'SIMD':>5} {'LLC KiB':>8} "
+        f"{'DRAM GB/s':>10} {'xform eff':>10} {'derate':>7} {'launch us':>10}  features"
+    )
+    print(f"registered platforms ({len(PLATFORMS)}):")
+    print(header)
+    for name in list_platforms():
+        platform = PLATFORMS[name]
+        llc = platform.last_level_cache_bytes() // 1024
+        print(
+            f"  {name:<16} {platform.cores:>5} {platform.frequency_ghz:>5.2f} "
+            f"{platform.vector_width:>5} {llc:>8} "
+            f"{platform.dram_bandwidth_gbps:>10.1f} {platform.transform_efficiency:>10.3f} "
+            f"{platform.wide_vector_derating:>7.2f} {platform.launch_overhead_s * 1e6:>10.1f}  "
+            f"{', '.join(sorted(platform.features)) or '-'}"
+        )
+    return 0
+
+
 def _command_figures(args: argparse.Namespace) -> int:
-    platform = PLATFORMS[args.platform]
-    networks = FIGURE_NETWORKS[platform.name]
+    platform = get_platform(args.platform)  # validated by main() already
+    networks = FIGURE_NETWORKS.get(platform.name, DEFAULT_FIGURE_NETWORKS)
     session = Session()
     results = [
         run_whole_network(name, platform, threads=args.threads, session=session)
@@ -323,7 +364,7 @@ def _command_figures(args: argparse.Namespace) -> int:
 
 
 def _command_tables(args: argparse.Namespace) -> int:
-    platform = PLATFORMS[args.platform]
+    platform = get_platform(args.platform)  # validated by main() already
     rows = run_absolute_time_table(platform)
     print(format_absolute_table(rows, f"Single inference time on {platform.name} (ms)"))
     return 0
@@ -357,6 +398,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command in ("select", "run", "compare"):
         args.model = _resolve_model(parser, args)
+    if hasattr(args, "platform"):
+        # Validate up front so every subcommand shares the registry-backed
+        # error (the old per-command KeyError named no valid alternatives).
+        _resolve_platform(args)
     handlers = {
         "select": _command_select,
         "run": _command_run,
@@ -364,6 +409,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cache": _command_cache,
         "figures": _command_figures,
         "tables": _command_tables,
+        "platforms": _command_platforms,
         "list": _command_list,
     }
     return handlers[args.command](args)

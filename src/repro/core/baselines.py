@@ -55,7 +55,9 @@ def family_greedy_plan(context: SelectionContext, family: PrimitiveFamily) -> Ne
         sum2d_cost = costs[SUM2D_PRIMITIVE]
         candidates = {
             primitive.name: costs[primitive.name]
-            for primitive in context.library.applicable(scenario, family=family)
+            for primitive in context.library.applicable(
+                scenario, family=family, platform=context.platform
+            )
         }
         if candidates:
             best_name = min(candidates, key=candidates.get)

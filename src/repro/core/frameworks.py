@@ -67,6 +67,14 @@ MKLDNN_MODEL = FrameworkModel(
 ARMCL_MODEL = FrameworkModel(
     name="armcl", efficiency_factor=1.05, per_layer_overhead_ms=0.6, parallel_efficiency=0.60
 )
+#: cuDNN: hand-tuned SIMT kernels with a per-layer heuristic algorithm pick
+#: (implicit GEMM / Winograd / FFT).  Kernel quality is well above the
+#: reproduction's primitives, but the per-layer dispatch (descriptor setup,
+#: workspace query, kernel launch) is charged on every convolution — small
+#: layers stay launch-bound, which is where whole-graph selection wins.
+CUDNN_MODEL = FrameworkModel(
+    name="cudnn", efficiency_factor=0.70, per_layer_overhead_ms=0.03, parallel_efficiency=0.90
+)
 
 
 def _framework_plan(
@@ -180,3 +188,21 @@ def armcl_like_plan(context: SelectionContext) -> NetworkPlan:
         for layer in context.network.conv_layers()
     }
     return _framework_plan(context, ARMCL_MODEL, conv_primitives, canonical_layout=False)
+
+
+def cudnn_like_plan(context: SelectionContext) -> NetworkPlan:
+    """Emulate cuDNN: per-layer heuristic pick among its algorithm menu.
+
+    cuDNN chooses per layer among implicit/explicit GEMM, tiled Winograd and
+    2D FFT — a *local* per-layer pick, blind to the layout-conversion edges,
+    exactly like the other framework comparators.  The 1D (row-streaming)
+    Winograd/FFT forms are not in the menu: they have no SIMT kernels (and
+    are declined by the primitives' platform gating anyway).
+    """
+    conv_primitives = {
+        layer.name: _best_of_families(
+            context, layer.name, ("im2col", "im2row", "winograd_2d", "fft_2d")
+        )
+        for layer in context.network.conv_layers()
+    }
+    return _framework_plan(context, CUDNN_MODEL, conv_primitives, canonical_layout=False)

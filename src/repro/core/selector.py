@@ -71,6 +71,16 @@ class SelectionContext:
         return self.platform.vector_width if self.platform is not None else 8
 
     @property
+    def platform_features(self) -> frozenset:
+        """Capability set of the target platform (empty when platform-less).
+
+        Strategy gating (:meth:`repro.core.strategies.Strategy.applies_to`)
+        consults this instead of hard-coding platform names, so registered
+        third-party platforms gate correctly by declaring features.
+        """
+        return self.platform.features if self.platform is not None else frozenset()
+
+    @property
     def tables_single_thread(self) -> CostTables:
         """Cost tables profiled for single-threaded execution.
 
@@ -90,6 +100,7 @@ class SelectionContext:
                     self.cost_model,
                     threads=1,
                     batch=self.batch,
+                    platform=self.platform,
                 )
         return self._single_thread_tables
 
@@ -120,7 +131,13 @@ class SelectionContext:
         if dt_graph is None:
             dt_graph = DTGraph(library.layouts_used(), default_transform_library())
         tables = build_cost_tables(
-            network, library, dt_graph, cost_model, threads=threads, batch=batch
+            network,
+            library,
+            dt_graph,
+            cost_model,
+            threads=threads,
+            batch=batch,
+            platform=platform,
         )
         return cls(
             network=network,

@@ -24,10 +24,15 @@ name                 plan builder
 ``local_optimal``    :func:`repro.core.baselines.local_optimal_plan`
 ``pbqp``             :class:`repro.core.selector.PBQPSelector`
 ``greedy_ignore_dt`` :func:`repro.core.baselines.greedy_ignore_dt_plan`
-``mkldnn``           Intel MKL-DNN emulation (desktop-class SIMD platforms only)
-``armcl``            ARM Compute Library emulation (narrow-SIMD platforms only)
-``caffe``            BVLC Caffe emulation (every platform)
+``mkldnn``           Intel MKL-DNN emulation (``x86`` platforms)
+``armcl``            ARM Compute Library emulation (``neon`` platforms)
+``caffe``            BVLC Caffe emulation (every CPU platform)
+``cudnn``            cuDNN-style emulation (``simt`` / GPU-shaped platforms)
 ===================  ============================================================
+
+Framework emulations are gated by :attr:`Platform.features` (see
+:mod:`repro.cost.platform`), not by hard-coded platform names, so registered
+third-party platforms pick up the right comparators by declaring features.
 """
 
 from __future__ import annotations
@@ -40,7 +45,12 @@ from repro.core.baselines import (
     local_optimal_plan,
     sum2d_plan,
 )
-from repro.core.frameworks import armcl_like_plan, caffe_like_plan, mkldnn_like_plan
+from repro.core.frameworks import (
+    armcl_like_plan,
+    caffe_like_plan,
+    cudnn_like_plan,
+    mkldnn_like_plan,
+)
 from repro.core.plan import NetworkPlan
 from repro.core.selector import PBQPSelector, SelectionContext
 from repro.primitives.base import PrimitiveFamily
@@ -254,7 +264,12 @@ class MKLDNNStrategy(Strategy):
     is_framework = True
 
     def applies_to(self, context: SelectionContext) -> bool:
-        # MKL-DNN targets desktop-class wide-SIMD (AVX2+) machines only.
+        # MKL-DNN exists for x86 parts (AVX2 desktop and AVX-512 server
+        # alike).  Feature-less contexts (hand-built platforms, the host
+        # profiler) fall back to the historical wide-SIMD heuristic.
+        features = context.platform_features
+        if features:
+            return "x86" in features
         return context.platform_vector_width >= 8
 
     def build_plan(self, context: SelectionContext) -> NetworkPlan:
@@ -270,7 +285,10 @@ class ARMCLStrategy(Strategy):
     is_framework = True
 
     def applies_to(self, context: SelectionContext) -> bool:
-        # The ARM Compute Library only exists for NEON-class (narrow SIMD) parts.
+        # The ARM Compute Library only exists for NEON-class parts.
+        features = context.platform_features
+        if features:
+            return "neon" in features
         return context.platform_vector_width < 8
 
     def build_plan(self, context: SelectionContext) -> NetworkPlan:
@@ -285,5 +303,26 @@ class CaffeStrategy(Strategy):
     figure_order = 9
     is_framework = True
 
+    def applies_to(self, context: SelectionContext) -> bool:
+        # CPU-only: BVLC Caffe's CPU path is what the paper compares against
+        # (its GPU path *is* cuDNN, emulated separately below).
+        return "simt" not in context.platform_features
+
     def build_plan(self, context: SelectionContext) -> NetworkPlan:
         return caffe_like_plan(context)
+
+
+@register_strategy
+class CudnnStrategy(Strategy):
+    """cuDNN-style emulation: per-layer algorithm pick on a SIMT device."""
+
+    name = "cudnn"
+    figure_order = 10
+    is_framework = True
+
+    def applies_to(self, context: SelectionContext) -> bool:
+        # cuDNN only exists for GPU-shaped (SIMT) platforms.
+        return "simt" in context.platform_features
+
+    def build_plan(self, context: SelectionContext) -> NetworkPlan:
+        return cudnn_like_plan(context)

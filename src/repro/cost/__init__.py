@@ -12,7 +12,20 @@ selector; the analytical model is what regenerates the paper's figures (see
 DESIGN.md section 2 for the substitution rationale).
 """
 
-from repro.cost.platform import Platform, PLATFORMS, intel_haswell, arm_cortex_a57
+from repro.cost.platform import (
+    PLATFORM_REGISTRY_VERSION,
+    PLATFORMS,
+    Platform,
+    arm_cortex_a57,
+    avx512_server,
+    get_platform,
+    gpu_sim,
+    intel_haswell,
+    list_platforms,
+    platform_version,
+    register_platform,
+    unregister_platform,
+)
 from repro.cost.model import CostModel
 from repro.cost.analytical import AnalyticalCostModel
 from repro.cost.profiler import WallClockProfiler
@@ -29,8 +42,16 @@ from repro.cost.store import CostStore, StoreEntry, StoreKey, StoreStats
 __all__ = [
     "Platform",
     "PLATFORMS",
+    "PLATFORM_REGISTRY_VERSION",
     "intel_haswell",
     "arm_cortex_a57",
+    "avx512_server",
+    "gpu_sim",
+    "register_platform",
+    "unregister_platform",
+    "get_platform",
+    "list_platforms",
+    "platform_version",
     "CostModel",
     "AnalyticalCostModel",
     "WallClockProfiler",

@@ -76,6 +76,18 @@ class ModelParameters:
     #: Fraction of streaming bandwidth achieved by workspace (scatter/gather)
     #: traffic relative to the platform's cache bandwidth.
     workspace_traffic_weight: float = 2.0
+    #: Fraction of the machine's SIMT width a GEMM/transform-shaped variant
+    #: actually occupies on a ``simt`` platform (warp scheduling and tail
+    #: effects keep it below 1).
+    simt_lane_efficiency: float = 0.80
+    #: Multiplier on the cache-pressure penalty on ``simt`` platforms:
+    #: oversubscription hides most capacity-miss latency, so overflowing the
+    #: (small) last-level cache hurts far less than on a CPU.
+    simt_pressure_relief: float = 0.25
+    #: Fraction of an ``avx512`` platform's full vector width that recompiled
+    #: 256-bit GEMM-shaped kernels achieve (the compiler re-vectorizes the
+    #: inner loops; tails and port pressure eat some of the doubling).
+    wide_recompile_efficiency: float = 0.85
 
 
 class AnalyticalCostModel:
@@ -123,12 +135,40 @@ class AnalyticalCostModel:
         )
 
         # ---- effective SIMD throughput --------------------------------------
-        lanes = min(primitive.vector_factor, platform.vector_width)
-        if primitive.family in (PrimitiveFamily.DIRECT, PrimitiveFamily.SUM2D):
-            # Plain loop nests only extract a fraction of the nominal SIMD width.
-            lanes = 1.0 + (lanes - 1.0) * params.direct_vector_efficiency
-        peak = platform.frequency_ghz * platform.fma_per_cycle * 2.0 * lanes * 1e9
-        if primitive.vector_factor > platform.vector_width:
+        simt = platform.has_feature("simt")
+        plain_loops = primitive.family in (PrimitiveFamily.DIRECT, PrimitiveFamily.SUM2D)
+        if simt:
+            # SIMT machines map any variant across the full machine width at
+            # compile time, so the CPU-oriented per-variant vector factor is
+            # irrelevant — but plain loop nests still occupy the lanes poorly
+            # (divergent, uncoalesced inner loops), which is what pushes the
+            # selector toward the GEMM/transform families even at batch 1.
+            if plain_loops:
+                lanes = 1.0 + (platform.vector_width - 1.0) * params.direct_vector_efficiency
+            else:
+                lanes = platform.vector_width * params.simt_lane_efficiency
+        else:
+            lanes = min(primitive.vector_factor, platform.vector_width)
+            if plain_loops:
+                # Plain loop nests only extract a fraction of the nominal SIMD width.
+                lanes = 1.0 + (lanes - 1.0) * params.direct_vector_efficiency
+            elif (
+                platform.has_feature("avx512")
+                and platform.vector_width > 8
+                and primitive.vector_factor >= 8
+            ):
+                # 256-bit GEMM-shaped kernels are recompiled to the full
+                # 512-bit width on AVX-512 parts (the paper's VF is a proxy
+                # for "written for wide SIMD", not a hard register width).
+                lanes = platform.vector_width * params.wide_recompile_efficiency
+        # Wide-vector execution derates the sustained clock on
+        # frequency-throttling parts (AVX-512 license-based downclocking) —
+        # which also derates the big-tile Winograd variants' advantage there.
+        frequency = platform.frequency_ghz
+        if lanes > 8.0 and platform.wide_vector_derating != 1.0:
+            frequency *= platform.wide_vector_derating
+        peak = frequency * platform.fma_per_cycle * 2.0 * lanes * 1e9
+        if not simt and primitive.vector_factor > platform.vector_width:
             peak *= params.vector_emulation_penalty
 
         # ---- utilization ------------------------------------------------------
@@ -144,14 +184,20 @@ class AnalyticalCostModel:
         # the cache one after another, it does not hold them all at once.
         llc = platform.last_level_cache_bytes()
         pressure = params.cache_pressure * (workspace_bytes + 0.5 * tensor_bytes_image) / llc
+        if simt:
+            # Latency hiding by oversubscription: capacity misses cost far
+            # less than on a CPU, where the inner loops stall on them.
+            pressure *= params.simt_pressure_relief
         utilization /= 1.0 + pressure
 
         # Inner working-set pressure: the per-core cache must hold whatever the
         # innermost stage keeps live (e.g. 2D Winograd's per-tile transformed
-        # slabs); overflowing it stalls the inner loops on every pass.
+        # slabs); overflowing it stalls the inner loops on every pass.  SIMT
+        # machines have no such private capacity cliff — tiles are staged
+        # through shared memory and misses overlap with other warps.
         inner_bytes = 4.0 * primitive.inner_working_set_elements(per_image)
         per_core = platform.per_core_cache_bytes()
-        if inner_bytes > per_core:
+        if inner_bytes > per_core and not simt:
             utilization /= 1.0 + params.inner_cache_pressure * (inner_bytes / per_core - 1.0)
 
         compute_seconds = ops / (peak * max(utilization, 1e-3))
@@ -187,11 +233,15 @@ class AnalyticalCostModel:
         # per-call overhead; the direct loop nests fold grouping into the
         # channel loop and are charged once.
         scalar_peak = platform.peak_gflops_per_core(1) * 1e9
-        if primitive.family in (PrimitiveFamily.DIRECT, PrimitiveFamily.SUM2D):
+        if plain_loops:
             call_count = 1
         else:
             call_count = scenario.groups
         overhead_seconds = traits.per_call_overhead_ops * call_count / scalar_peak
+        # Device-shaped platforms pay a fixed driver/queue latency per kernel
+        # launch (once per dispatch, regardless of batch — the batch rides in
+        # the same launch), which is what makes small layers launch-bound.
+        overhead_seconds += platform.launch_overhead_s * call_count
 
         return max(compute_seconds, memory_seconds) + overhead_seconds
 
@@ -260,5 +310,7 @@ class AnalyticalCostModel:
         if threads > 1:
             # Gather/scatter loops are bandwidth bound; extra cores help only a little.
             seconds /= platform.mt_bandwidth_scaling
-        # Fixed dispatch cost per transformation call.
-        return seconds + 2e-6
+        # Fixed dispatch cost per transformation call; on device-shaped
+        # platforms every conversion is its own kernel launch, so careless
+        # layout churn costs launches even when the data movement is cheap.
+        return seconds + max(2e-6, platform.launch_overhead_s)

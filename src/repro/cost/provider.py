@@ -124,6 +124,7 @@ class AnalyticalCostProvider:
             self.cost_model(query.platform),
             threads=query.threads,
             batch=query.batch,
+            platform=query.platform,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -158,6 +159,8 @@ class ProfiledCostProvider:
         return self.profiler
 
     def tables(self, query: CostQuery) -> CostTables:
+        # The profiler measures the host, which can run every variant, so no
+        # modelled-platform gating is applied (``platform`` stays ``None``).
         return build_cost_tables(
             query.network,
             query.library,
@@ -196,6 +199,7 @@ class CostModelProvider:
             self._cost_model,
             threads=query.threads,
             batch=query.batch,
+            platform=query.platform,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -7,8 +7,8 @@ caches of :class:`repro.api.Session` realize "profile once, select many"
 within one process; :class:`CostStore` extends it across processes: every
 produced table set is written to a cache directory as a JSON document keyed
 by ``(network fingerprint, platform, threads, batch, provider name, provider
-version)``, and any later session pointed at the same directory loads the
-tables instead of re-profiling.
+version, platform registry version)``, and any later session pointed at the
+same directory loads the tables instead of re-profiling.
 
 The store is itself a :class:`~repro.cost.provider.CostProvider` — it
 decorates any other provider, so the same persistence works for analytically
@@ -29,7 +29,7 @@ from pathlib import Path
 from typing import List, Optional, Union
 
 from repro.cost.model import CostModel
-from repro.cost.platform import Platform
+from repro.cost.platform import Platform, platform_version
 from repro.cost.provider import AnalyticalCostProvider, CostProvider, CostQuery
 from repro.cost.serialize import cost_tables_from_dict, cost_tables_to_dict
 from repro.cost.tables import CostTables
@@ -37,11 +37,15 @@ from repro.cost.tables import CostTables
 PathLike = Union[str, Path]
 
 #: Format identifier embedded in every store entry.  v2 added ``batch`` to
-#: the key schema (and to the filename digest); bumping the version makes the
-#: skew explicit in both directions — v1 entries are skipped by
-#: :meth:`CostStore.entries` (and removed by :meth:`CostStore.clear`) instead
-#: of being half-parsed, and older checkouts reject v2 documents outright.
-STORE_ENTRY_FORMAT = "repro/cost-store-entry/v2"
+#: the key schema (and to the filename digest); v3 added ``platform_version``
+#: (the platform registry version plus the platform's parameter digest), so
+#: editing a platform's modelled numbers — or registering a different
+#: platform under a reused name — invalidates its persisted tables.  Bumping
+#: the version makes the skew explicit in both directions — older-format
+#: entries are skipped by :meth:`CostStore.entries` (and removed by
+#: :meth:`CostStore.clear`) instead of being half-parsed, and older checkouts
+#: reject v3 documents outright.
+STORE_ENTRY_FORMAT = "repro/cost-store-entry/v3"
 
 
 @dataclass(frozen=True)
@@ -60,6 +64,11 @@ class StoreKey:
     #: Minibatch size the tables were priced for.  Part of the key, so
     #: batch-1 and batch-N tables never alias each other on disk.
     batch: int = 1
+    #: Registry version plus parameter digest of the modelled platform (see
+    #: :func:`repro.cost.platform.platform_version`); empty for platform-less
+    #: providers (the host profiler).  Part of the key, so editing a
+    #: platform's numbers invalidates its stored tables.
+    platform_version: str = ""
 
     def digest(self) -> str:
         """A short stable digest of the full key (used in the filename)."""
@@ -72,6 +81,7 @@ class StoreKey:
                 self.provider_version,
                 self.components,
                 str(self.batch),
+                self.platform_version,
             )
         )
         return hashlib.sha256(text.encode()).hexdigest()[:16]
@@ -180,6 +190,9 @@ class CostStore:
             provider_version=self.provider.version,
             components=components_digest(query.library, query.dt_graph),
             batch=query.batch,
+            platform_version=(
+                "" if query.platform is None else platform_version(query.platform)
+            ),
         )
 
     def path_for(self, key: StoreKey) -> Path:

@@ -90,6 +90,7 @@ def build_cost_tables(
     cost_model: CostModel,
     threads: int = 1,
     batch: int = 1,
+    platform=None,
 ) -> CostTables:
     """Profile a network against a primitive library on a cost model.
 
@@ -99,11 +100,18 @@ def build_cost_tables(
     the whole network for minibatches of that size: node costs are produced
     from the batched scenarios and edge costs from batched conversions
     (per-image shapes, whole-batch traffic).
+
+    ``platform`` applies per-platform primitive gating: variants the platform
+    does not offer are never priced (``supports()`` consistent with pricing).
+    It defaults to the cost model's own platform when it has one (the
+    analytical model), so callers only pass it for platform-less models.
     """
     if threads < 1:
         raise ValueError("threads must be >= 1")
     if batch < 1:
         raise ValueError("batch must be >= 1")
+    if platform is None:
+        platform = getattr(cost_model, "platform", None)
     scenarios = {
         name: scenario.with_batch(batch)
         for name, scenario in network.conv_scenarios().items()
@@ -113,7 +121,7 @@ def build_cost_tables(
     node_costs: Dict[str, Dict[str, float]] = {}
     for layer_name, scenario in scenarios.items():
         per_primitive: Dict[str, float] = {}
-        for primitive in library.applicable(scenario):
+        for primitive in library.applicable(scenario, platform=platform):
             per_primitive[primitive.name] = cost_model.primitive_cost(
                 primitive, scenario, threads=threads
             )

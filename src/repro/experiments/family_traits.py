@@ -103,7 +103,7 @@ def family_traits_table(
         result.best_cost[name] = {}
         result.workspace[name] = {}
         for family in FAMILIES:
-            candidates = library.applicable(scenario, family=family)
+            candidates = library.applicable(scenario, family=family, platform=platform)
             if not candidates:
                 result.best_cost[name][family.value] = None
                 result.workspace[name][family.value] = None

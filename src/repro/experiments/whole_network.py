@@ -51,6 +51,10 @@ FIGURE_NETWORKS: Dict[str, List[str]] = {
     "arm-cortex-a57": ["alexnet", "googlenet"],
 }
 
+#: Networks used for platforms without a dedicated figure in the paper
+#: (anything registered beyond the original pair).
+DEFAULT_FIGURE_NETWORKS: List[str] = ["alexnet", "googlenet"]
+
 #: The post-paper zoo extension: residual (ResNet-18) and depthwise-separable
 #: (MobileNet-v1) networks, per platform.  Both fit on the embedded board
 #: (MobileNet was designed for it), so they run everywhere.

@@ -20,13 +20,16 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, FrozenSet, Iterable, Optional, Tuple
 
 import numpy as np
 
 from repro.graph.scenario import ConvScenario
 from repro.layouts.layout import CHW, Layout
 from repro.layouts.tensor import LayoutTensor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.cost.platform import Platform
 
 
 class UnsupportedScenarioError(ValueError):
@@ -91,6 +94,12 @@ class ConvPrimitive:
         platform's native width is heavily penalized by the cost model,
         which is how the selector ends up picking VF8 variants on Haswell and
         VF4 variants on Cortex-A57 (Figure 4 of the paper).
+    requires_features, excluded_features:
+        Per-platform gating: when :meth:`supports` is asked about a concrete
+        :class:`~repro.cost.platform.Platform`, the primitive declines
+        platforms missing any required feature or exhibiting any excluded
+        one (e.g. the row-streaming 1D Winograd/FFT forms do not exist on
+        ``simt`` machines).  Both default to empty — available everywhere.
     """
 
     def __init__(
@@ -100,6 +109,8 @@ class ConvPrimitive:
         input_layout: Layout = CHW,
         output_layout: Layout = CHW,
         vector_factor: int = 1,
+        requires_features: Iterable[str] = (),
+        excluded_features: Iterable[str] = (),
     ) -> None:
         if vector_factor < 1:
             raise ValueError("vector_factor must be >= 1")
@@ -108,12 +119,31 @@ class ConvPrimitive:
         self.input_layout = input_layout
         self.output_layout = output_layout
         self.vector_factor = vector_factor
+        self.requires_features: FrozenSet[str] = frozenset(requires_features)
+        self.excluded_features: FrozenSet[str] = frozenset(excluded_features)
 
     # -- capability -------------------------------------------------------------
 
-    def supports(self, scenario: ConvScenario) -> bool:
-        """Whether this primitive can implement the given scenario."""
-        return True
+    def supports(
+        self, scenario: ConvScenario, platform: Optional["Platform"] = None
+    ) -> bool:
+        """Whether this primitive can implement the scenario on the platform.
+
+        ``platform=None`` asks the platform-independent question ("can this
+        routine compute the convolution at all?" — what :meth:`execute`
+        checks); passing a platform additionally applies the capability
+        gating of :attr:`requires_features` / :attr:`excluded_features`, so
+        cost tables never price a variant the platform does not offer.
+        """
+        return self.available_on(platform)
+
+    def available_on(self, platform: Optional["Platform"]) -> bool:
+        """Whether this primitive exists at all on the given platform."""
+        if platform is None:
+            return True
+        if not self.requires_features <= platform.features:
+            return False
+        return not (self.excluded_features & platform.features)
 
     def traits(self) -> PrimitiveTraits:
         """Platform-independent characteristics priced by the cost model."""

@@ -85,10 +85,10 @@ class DirectLoopPrimitive(ConvPrimitive):
             per_call_overhead_ops=1_000.0,
         )
 
-    def supports(self, scenario: ConvScenario) -> bool:
+    def supports(self, scenario: ConvScenario, platform=None) -> bool:
         # The direct loop nest handles every scenario, including strided and
         # depthwise ones (the channel loop simply collapses per group).
-        return True
+        return self.available_on(platform)
 
     def _compute_depthwise(self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario) -> np.ndarray:
         """Depthwise form of the loop nest: no channel reduction, vectorized per map."""

@@ -37,14 +37,18 @@ def _fft_length(size: int) -> int:
 class _FFTBase(ConvPrimitive):
     """Shared capability and trait structure of the fft family."""
 
-    def supports(self, scenario: ConvScenario) -> bool:
+    def supports(self, scenario: ConvScenario, platform=None) -> bool:
         # Strided convolution would waste most of the transformed output;
         # like the paper's implementation we only offer unit stride.  Depthwise
         # scenarios are declined too: with a single input channel per group
         # there is no channel accumulation to amortize the spectra over, and a
         # separate FFT plan per group would have to be set up and torn down —
         # the implementation provides no such kernel.
-        return scenario.stride == 1 and not scenario.is_depthwise
+        return (
+            scenario.stride == 1
+            and not scenario.is_depthwise
+            and self.available_on(platform)
+        )
 
     def traits(self) -> PrimitiveTraits:
         return PrimitiveTraits(
@@ -71,6 +75,9 @@ class FFT1DPrimitive(_FFTBase):
             input_layout=input_layout,
             output_layout=output_layout,
             vector_factor=vector_factor,
+            # Like 1D Winograd, the row-wise FFT sum is a low-memory CPU form
+            # with no SIMT kernel; GPU libraries offer the full 2D FFT only.
+            excluded_features=("simt",),
         )
 
     def arithmetic_ops(self, scenario: ConvScenario) -> float:

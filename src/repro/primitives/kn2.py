@@ -40,13 +40,17 @@ class _Kn2Base(ConvPrimitive):
         super().__init__(*args, **kwargs)
         self.accumulating = accumulating
 
-    def supports(self, scenario: ConvScenario) -> bool:
+    def supports(self, scenario: ConvScenario, platform=None) -> bool:
         # The shift-add formulation is only efficient (and only implemented)
         # for unit-stride convolution.  Depthwise scenarios are declined: the
         # per-offset (M, C) x (C, H*W) GEMM degenerates to a scalar-vector
         # product per group (the family's "few channels" bad case taken to its
         # limit), which the implementation does not provide a kernel for.
-        return scenario.stride == 1 and not scenario.is_depthwise
+        return (
+            scenario.stride == 1
+            and not scenario.is_depthwise
+            and self.available_on(platform)
+        )
 
     def traits(self) -> PrimitiveTraits:
         return PrimitiveTraits(

@@ -61,11 +61,20 @@ class PrimitiveLibrary:
         return [p for p in self._primitives.values() if p.family is family]
 
     def applicable(
-        self, scenario: ConvScenario, family: Optional[PrimitiveFamily] = None
+        self,
+        scenario: ConvScenario,
+        family: Optional[PrimitiveFamily] = None,
+        platform=None,
     ) -> List[ConvPrimitive]:
-        """Primitives that support the given scenario (optionally one family only)."""
+        """Primitives that support the scenario (optionally one family only).
+
+        Passing a :class:`~repro.cost.platform.Platform` additionally applies
+        per-platform capability gating — variants the platform does not offer
+        (see :attr:`ConvPrimitive.requires_features`) are filtered out, so
+        they are never priced into that platform's cost tables.
+        """
         candidates = self.primitives() if family is None else self.by_family(family)
-        return [p for p in candidates if p.supports(scenario)]
+        return [p for p in candidates if p.supports(scenario, platform=platform)]
 
     def layouts_used(self) -> List[Layout]:
         """Every distinct layout consumed or produced by some primitive."""

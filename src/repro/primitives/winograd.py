@@ -129,6 +129,8 @@ class _WinogradBase(ConvPrimitive):
         input_layout: Layout,
         output_layout: Layout,
         vector_factor: int,
+        requires_features=(),
+        excluded_features=(),
     ) -> None:
         super().__init__(
             name=name,
@@ -136,6 +138,8 @@ class _WinogradBase(ConvPrimitive):
             input_layout=input_layout,
             output_layout=output_layout,
             vector_factor=vector_factor,
+            requires_features=requires_features,
+            excluded_features=excluded_features,
         )
         self.tile = tile
         self.kernel_size = kernel_size
@@ -148,8 +152,12 @@ class _WinogradBase(ConvPrimitive):
         """Input tile size ``n = m + r - 1``."""
         return self.tile + self.kernel_size - 1
 
-    def supports(self, scenario: ConvScenario) -> bool:
-        return scenario.k == self.kernel_size and scenario.stride == 1
+    def supports(self, scenario: ConvScenario, platform=None) -> bool:
+        return (
+            scenario.k == self.kernel_size
+            and scenario.stride == 1
+            and self.available_on(platform)
+        )
 
 
 class Winograd2DPrimitive(_WinogradBase):
@@ -281,7 +289,18 @@ class Winograd1DPrimitive(_WinogradBase):
         output_layout: Layout = HCW,
         vector_factor: int = 1,
     ) -> None:
-        super().__init__(name, tile, kernel_size, input_layout, output_layout, vector_factor)
+        # The row-streaming low-memory form trades arithmetic for footprint —
+        # a CPU-cache bargain with no SIMT analogue (GPU libraries implement
+        # the tiled 2D form only), so SIMT platforms never price it.
+        super().__init__(
+            name,
+            tile,
+            kernel_size,
+            input_layout,
+            output_layout,
+            vector_factor,
+            excluded_features=("simt",),
+        )
 
     def traits(self) -> PrimitiveTraits:
         return PrimitiveTraits(

@@ -36,6 +36,7 @@ ALL_STRATEGY_NAMES = {
     "mkldnn",
     "armcl",
     "caffe",
+    "cudnn",
 }
 
 
@@ -64,6 +65,7 @@ class TestRegistry:
             "mkldnn",
             "armcl",
             "caffe",
+            "cudnn",
         ]
 
     def test_get_strategy_unknown_name(self):
@@ -140,7 +142,7 @@ class TestAppliesToGating:
     def test_include_frameworks_false_drops_all_emulations(self, engine):
         intel = engine.context_for("alexnet", "intel-haswell")
         names = {s.name for s in applicable_strategies(intel, include_frameworks=False)}
-        assert names == ALL_STRATEGY_NAMES - {"mkldnn", "armcl", "caffe"}
+        assert names == ALL_STRATEGY_NAMES - {"mkldnn", "armcl", "caffe", "cudnn"}
 
     def test_select_rejects_inapplicable_strategy(self, engine):
         with pytest.raises(ValueError, match="does not apply"):
@@ -264,8 +266,9 @@ class TestRewiredHarnesses:
         from repro.experiments.whole_network import run_whole_network
 
         result = run_whole_network("alexnet", intel, threads=1, library=library)
-        # Every applicable non-baseline registered strategy gets a bar.
-        assert set(result.times_ms) == ALL_STRATEGY_NAMES - {"sum2d", "armcl"}
+        # Every applicable non-baseline registered strategy gets a bar
+        # (armcl is NEON-only, cudnn SIMT-only — neither applies on Haswell).
+        assert set(result.times_ms) == ALL_STRATEGY_NAMES - {"sum2d", "armcl", "cudnn"}
 
     def test_cli_list_command(self, capsys):
         from repro.cli import main

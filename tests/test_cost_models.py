@@ -19,8 +19,14 @@ def k3_scenario():
 
 
 class TestPlatform:
-    def test_registry_contains_both_papers_platforms(self):
-        assert set(PLATFORMS) == {"intel-haswell", "arm-cortex-a57"}
+    def test_registry_contains_the_platform_zoo(self):
+        # The paper's pair plus the post-paper zoo (AVX-512 server, GPU-sim).
+        assert set(PLATFORMS) >= {
+            "intel-haswell",
+            "arm-cortex-a57",
+            "avx512-server",
+            "gpu-sim",
+        }
 
     def test_peak_scales_with_lanes_up_to_width(self):
         assert intel_haswell.peak_gflops_per_core(8) == pytest.approx(

@@ -201,3 +201,49 @@ class TestAblations:
         assert result.exact_provably_optimal
         assert result.heuristic_cost >= result.exact_cost - 1e-12
         assert result.heuristic_gap >= 0.0
+
+
+class TestPlatformScaling:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        from repro.api import Session
+        from repro.experiments.platform_scaling import run_platform_scaling
+        from tests.conftest import build_tiny_network
+
+        # The tiny network keeps the tier-1 suite fast; the full zoo sweep
+        # lives in benchmarks/test_bench_platform_zoo.py.
+        return run_platform_scaling(
+            networks=[build_tiny_network()], batches=(1, 4), session=Session()
+        )
+
+    def test_sweep_covers_every_registered_platform(self, sweep):
+        from repro.cost.platform import list_platforms
+
+        assert sweep.platforms == list_platforms()
+        assert len(sweep.cells) == len(sweep.platforms) * 2  # two batches
+
+    def test_cells_carry_valid_plans_and_families(self, sweep):
+        families = {"sum2d", "direct", "im2", "kn2", "winograd", "fft"}
+        for cell in sweep.cells:
+            assert cell.total_ms > 0
+            assert cell.per_image_ms == pytest.approx(cell.total_ms / cell.batch)
+            assert cell.families and set(cell.families.values()) <= families
+            assert sum(cell.family_histogram().values()) == len(cell.families)
+
+    def test_drift_is_measured_against_both_cpu_baselines(self, sweep):
+        for platform in ("avx512-server", "gpu-sim"):
+            drifted = sweep.drift_layers("tiny", platform, 1)
+            for layer, (family, baselines) in drifted.items():
+                assert set(baselines) == {"intel-haswell", "arm-cortex-a57"}
+                assert all(family != other for other in baselines.values())
+            assert sweep.drift_count("tiny", platform, 1) == len(drifted)
+
+    def test_format_renders_every_platform_row(self, sweep):
+        text = sweep.format()
+        for platform in sweep.platforms:
+            assert platform in text
+        assert "drift" in text
+
+    def test_missing_cell_raises(self, sweep):
+        with pytest.raises(KeyError):
+            sweep.cell("tiny", "gpu-sim", 999)
