@@ -8,17 +8,31 @@ Setting ``REPRO_BENCH_SMOKE=1`` runs the suite in *smoke mode*: scenario
 lists are trimmed to the tiny networks (the VGG instances dominate the
 runtime) and assertions that need the full network set are skipped.  CI uses
 this to smoke-test every benchmark on each pull request.
+
+Benchmarks that measure a speed call :func:`record_metric`; at the end of
+the run each recording benchmark's metrics are written to a
+``BENCH_<name>.json`` trajectory file at the repository root (one run entry
+per commit), so the warm-path speedups and solver times are tracked across
+PRs instead of staying anecdotal in the printed tables.  Set
+``REPRO_BENCH_DIR`` to redirect the files (CI smoke runs write to a scratch
+directory instead of dirtying the checkout).
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import List, Sequence, Tuple
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
 
 import pytest
 
 from repro.cost.platform import PLATFORMS
 from repro.primitives.registry import default_primitive_library
+
+#: Schema tag of the ``BENCH_*.json`` trajectory files.
+BENCH_FORMAT = "repro/bench-trajectory/v1"
 
 #: Whether the suite runs with trimmed, tiny scenario sizes (CI smoke job).
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in {"", "0"}
@@ -60,3 +74,78 @@ def emit(text: str) -> None:
     print("=" * 96)
     print(text)
     print("=" * 96)
+
+
+# ---------------------------------------------------------------------------
+# BENCH_*.json perf trajectories
+# ---------------------------------------------------------------------------
+
+#: Metrics recorded by the current run, keyed by benchmark name.
+_RECORDS: Dict[str, Dict[str, float]] = {}
+
+
+def record_metric(benchmark: str, metric: str, value: float) -> None:
+    """Record one scalar for the ``BENCH_<benchmark>.json`` trajectory file.
+
+    ``benchmark`` is a short slug (``"engine_cache"``, ``"frontier"``);
+    ``metric`` names the measurement, with its unit as a suffix
+    (``"warm_select_ms"``, ``"speedup_x"``).  Each call updates the file on
+    disk immediately (pytest imports conftest plugins under their own module
+    names, so a session-finish hook could see different module state than
+    the benchmarks that imported :func:`record_metric`).
+    """
+    _RECORDS.setdefault(benchmark, {})[metric] = float(value)
+    _flush(benchmark)
+
+
+def _bench_dir() -> Path:
+    override = os.environ.get("REPRO_BENCH_DIR", "")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent
+
+
+def _git_commit() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _flush(benchmark: str) -> None:
+    """Write one benchmark's metrics into its trajectory file.
+
+    A re-run at the same commit (and smoke setting) replaces its earlier
+    entry, so iterating locally never inflates the trajectory.
+    """
+    metrics = _RECORDS.get(benchmark, {})
+    if not metrics:
+        return
+    directory = _bench_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    commit = _git_commit()
+    path = directory / f"BENCH_{benchmark}.json"
+    document = {"format": BENCH_FORMAT, "benchmark": benchmark, "runs": []}
+    if path.exists():
+        try:
+            loaded = json.loads(path.read_text())
+            if loaded.get("format") == BENCH_FORMAT:
+                document = loaded
+        except (ValueError, OSError):
+            pass
+    runs = [
+        run
+        for run in document.get("runs", [])
+        if not (run.get("commit") == commit and run.get("smoke") == SMOKE)
+    ]
+    runs.append(
+        {"commit": commit, "smoke": SMOKE, "metrics": dict(sorted(metrics.items()))}
+    )
+    document["runs"] = runs
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

@@ -10,7 +10,7 @@ instance) and asserts the cache is actually doing the work.
 
 import time
 
-from benchmarks.conftest import SMOKE, emit
+from benchmarks.conftest import SMOKE, emit, record_metric
 from repro.api import Engine
 
 MODEL = "alexnet" if SMOKE else "googlenet"
@@ -34,6 +34,9 @@ def test_engine_cache_reuses_cost_tables(benchmark, library, intel):
     assert info.contexts == 1 and info.misses == 1 and info.hits >= 5
 
     warm_seconds = benchmark.stats.stats.mean
+    record_metric("engine_cache", "cold_select_ms", cold_seconds * 1e3)
+    record_metric("engine_cache", "warm_select_ms", warm_seconds * 1e3)
+    record_metric("engine_cache", "warm_speedup_x", cold_seconds / warm_seconds)
     emit(
         "Engine context cache — profile once, select many\n"
         f"cold select (profiling + solve): {cold_seconds * 1e3:10.2f} ms\n"

@@ -11,7 +11,7 @@ start performs **zero** profiling and reports the warm/cold ratio.
 import time
 
 import repro.cost.provider as provider_module
-from benchmarks.conftest import SMOKE, emit
+from benchmarks.conftest import SMOKE, emit, record_metric
 from repro.api import Session
 
 MODEL = "alexnet" if SMOKE else "googlenet"
@@ -46,6 +46,9 @@ def test_store_warm_start_skips_profiling(benchmark, library, intel, tmp_path, m
     assert warm.plan.conv_selections() == cold.plan.conv_selections()
 
     warm_seconds = benchmark.stats.stats.mean
+    record_metric("store_warm_start", "cold_start_ms", cold_seconds * 1e3)
+    record_metric("store_warm_start", "warm_start_ms", warm_seconds * 1e3)
+    record_metric("store_warm_start", "warm_speedup_x", cold_seconds / warm_seconds)
     emit(
         "CostStore warm start — fresh process, zero profiling\n"
         f"model: {MODEL}, store: {len(Session(library=library, cache_dir=tmp_path).store.entries())} entr(y/ies)\n"

@@ -52,6 +52,7 @@ from repro.graph.network import Network
 from repro.layouts.dt_graph import DTGraph
 from repro.layouts.transforms import default_transform_library
 from repro.models import build_model
+from repro.multiobj.frontier import DEFAULT_BUDGET_STEPS, Frontier, build_frontier
 from repro.primitives.registry import PrimitiveLibrary, default_primitive_library
 from repro.runtime.executor import ExecutionTrace, NetworkExecutor
 
@@ -216,6 +217,28 @@ class ExecutionReport:
     wall_ms: float
     #: Number of images in the forward pass (1 for a single-image run).
     batch: int = 1
+    #: Name of the network's primary (last) output layer.
+    output_layer: str = ""
+
+    @property
+    def heads(self) -> Dict[str, np.ndarray]:
+        """Every output head by layer name, single-output networks included.
+
+        A single-output network reports one entry under its output layer's
+        name; a multi-output network (e.g. ``googlenet-aux``) reports every
+        head, so auxiliary classifiers are first-class rather than hidden
+        inside the :attr:`output` union.
+        """
+        if isinstance(self.output, dict):
+            return dict(self.output)
+        return {self.output_layer: self.output}
+
+    @property
+    def primary_output(self) -> np.ndarray:
+        """The primary head's tensor (the network's last output layer)."""
+        if isinstance(self.output, dict):
+            return self.output[self.output_layer]
+        return self.output
 
     @property
     def predicted_total_ms(self) -> float:
@@ -386,6 +409,13 @@ class Plan:
             )
             for name in trace.layer_order
         ]
+        # The primary head is the last output layer in topological order
+        # (auxiliary heads branch off earlier in the network).
+        output_names = {layer.name for layer in self.network.output_layers()}
+        output_layer = ""
+        for layer in self.network.topological_order():
+            if layer.name in output_names:
+                output_layer = layer.name
         return ExecutionReport(
             model=self.result.model,
             platform=self.result.platform,
@@ -399,6 +429,7 @@ class Plan:
             measured_conversion_ms=1e3 * trace.total_conversion_seconds,
             wall_ms=1e3 * trace.wall_seconds,
             batch=trace.batch,
+            output_layer=output_layer,
         )
 
     # -- persistence --------------------------------------------------------------
@@ -726,6 +757,31 @@ class Session:
         return self.plan(
             model, platform, strategy=strategy, threads=threads, batch=batch
         ).execute(input=input, seed=seed)
+
+    def plan_frontier(
+        self,
+        model: ModelLike,
+        platform: PlatformLike,
+        threads: int = 1,
+        batch: int = 1,
+        constraints: Optional[Dict[str, float]] = None,
+        seed: int = 0,
+        budget_steps: int = DEFAULT_BUDGET_STEPS,
+    ) -> Frontier:
+        """Build the multi-objective Pareto frontier of whole-network plans.
+
+        Reuses the memoized profiled context (the frontier's many PBQP
+        solves share one set of cost tables), so a warm session pays no
+        re-profiling.  ``constraints`` takes ``{objective}_max`` keys over
+        ``time_ms`` / ``peak_workspace_bytes`` / ``energy_proxy_j``; a
+        workspace bound additionally directs an epsilon-constraint solve at
+        exactly that budget.  The result is deterministic — byte-identical
+        serialization for a fixed ``seed``.
+        """
+        context = self.context_for(model, platform, threads, batch)
+        return build_frontier(
+            context, constraints=constraints, seed=seed, budget_steps=budget_steps
+        )
 
     def plan_from_file(
         self, path: Union[str, Path], network: Optional[Network] = None

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Eight subcommands cover the workflows a downstream user needs:
+Nine subcommands cover the workflows a downstream user needs:
 
 * ``repro select``  — run one selection strategy for a zoo model on a modelled
   platform (default: the paper's PBQP pipeline) and print (or save) the plan;
@@ -8,6 +8,8 @@ Eight subcommands cover the workflows a downstream user needs:
   saved with ``select --save``) and print the per-layer execution report;
 * ``repro compare`` — evaluate every registered strategy for one
   network/platform/thread-count, ranked by total cost with speedups;
+* ``repro frontier`` — build the multi-objective Pareto frontier (time, peak
+  workspace, energy proxy) and print it with a workspace-budget sweep;
 * ``repro cache``   — inspect or clear a persistent cost-table store;
 * ``repro figures`` — regenerate the full set of whole-network figures;
 * ``repro tables``  — regenerate the absolute-time tables (Tables 2 and 3);
@@ -181,6 +183,55 @@ def build_parser() -> argparse.ArgumentParser:
     _add_batch_argument(compare)
     _add_cache_dir_argument(compare)
 
+    frontier = subparsers.add_parser(
+        "frontier",
+        help="build the multi-objective Pareto frontier of plans for one model",
+    )
+    _add_model_arguments(frontier)
+    _add_platform_argument(frontier)
+    _add_threads_argument(frontier)
+    _add_batch_argument(frontier)
+    _add_cache_dir_argument(frontier)
+    frontier.add_argument(
+        "--seed", type=int, default=0, help="tie-breaking seed (default: 0)"
+    )
+    frontier.add_argument(
+        "--budget-steps",
+        type=int,
+        default=None,
+        help="number of epsilon-constraint workspace caps to sweep",
+    )
+    frontier.add_argument(
+        "--mode",
+        choices=("knee", "min_time_under", "lexicographic"),
+        default="knee",
+        help="decision mode applied to the front (default: knee)",
+    )
+    frontier.add_argument(
+        "--max-workspace-kib",
+        type=float,
+        default=None,
+        help="peak-workspace budget in KiB (constrains the decision and "
+        "directs an epsilon-constraint solve at exactly this budget)",
+    )
+    frontier.add_argument(
+        "--max-energy-mj",
+        type=float,
+        default=None,
+        help="energy-proxy budget in millijoules (constrains the decision)",
+    )
+    frontier.add_argument(
+        "--max-time-ms",
+        type=float,
+        default=None,
+        help="whole-network time budget in milliseconds (constrains the decision)",
+    )
+    frontier.add_argument(
+        "--save",
+        metavar="PATH",
+        help="write the frontier (plans included) to this JSON file",
+    )
+
     cache = subparsers.add_parser(
         "cache", help="inspect or clear a persistent cost-table store"
     )
@@ -289,16 +340,95 @@ def _command_run(args: argparse.Namespace) -> int:
         return 2
     report = plan.execute(seed=args.seed)
     print(report.format())
-    output = report.output
-    if report.batch > 1:
-        per_image = output.reshape(report.batch, -1)
-        classes = ", ".join(str(int(row.argmax())) for row in per_image)
-        print(f"  output: classes [{classes}] over the {report.batch}-image batch")
-    else:
+    heads = report.heads
+    multi = len(heads) > 1
+    for name, output in heads.items():
+        label = f"head {name}" if multi else "output"
+        primary = " (primary)" if multi and name == report.output_layer else ""
+        if report.batch > 1:
+            per_image = output.reshape(report.batch, -1)
+            classes = ", ".join(str(int(row.argmax())) for row in per_image)
+            print(
+                f"  {label}: classes [{classes}] over the "
+                f"{report.batch}-image batch{primary}"
+            )
+        else:
+            print(
+                f"  {label}: class {int(output.argmax())} "
+                f"(probability {float(output.max()):.3f}){primary}"
+            )
+    return 0
+
+
+#: Fractions of the unconstrained peak workspace swept by `repro frontier`.
+_SWEEP_FRACTIONS = (1.0, 0.5, 0.25, 0.1, 0.05)
+
+
+def _family_summary(plan, library) -> str:
+    """Compact per-family histogram of a plan's convolution primitives."""
+    from collections import Counter
+
+    families = Counter(
+        library.get(name).family.value for name in plan.conv_selections().values()
+    )
+    return " ".join(f"{family}x{count}" for family, count in sorted(families.items()))
+
+
+def _command_frontier(args: argparse.Namespace) -> int:
+    session = _session(args)
+    constraints = {}
+    if args.max_workspace_kib is not None:
+        constraints["peak_workspace_bytes_max"] = args.max_workspace_kib * 1024.0
+    if args.max_energy_mj is not None:
+        constraints["energy_proxy_j_max"] = args.max_energy_mj * 1e-3
+    if args.max_time_ms is not None:
+        constraints["time_ms_max"] = args.max_time_ms
+    kwargs = {} if args.budget_steps is None else {"budget_steps": args.budget_steps}
+    frontier = session.plan_frontier(
+        args.model,
+        args.platform,
+        threads=args.threads,
+        batch=args.batch,
+        constraints=constraints or None,
+        seed=args.seed,
+        **kwargs,
+    )
+    print(frontier.format())
+
+    # Workspace-budget sweep: the fastest frontier plan under shrinking
+    # fractions of the unconstrained peak, showing where families flip.
+    unconstrained = frontier.min_time()
+    peak = unconstrained.vector.peak_workspace_bytes
+    print()
+    print("workspace-budget sweep (fastest frontier plan under each budget):")
+    print(f"  {'budget':>8} {'KiB':>10} {'time ms':>9} {'peak KiB':>10}  families")
+    for fraction in _SWEEP_FRACTIONS:
+        budget = fraction * peak
+        point = frontier.min_time_under({"peak_workspace_bytes_max": budget})
+        if point is None:
+            print(f"  {fraction:>7.0%} {budget / 1024.0:>10.1f} {'infeasible':>9}")
+            continue
         print(
-            f"  output: class {int(output.argmax())} "
-            f"(probability {float(output.max()):.3f})"
+            f"  {fraction:>7.0%} {budget / 1024.0:>10.1f} "
+            f"{point.vector.time_ms:>9.2f} "
+            f"{point.vector.peak_workspace_bytes / 1024.0:>10.1f}  "
+            f"{_family_summary(point.plan, session.library)}"
         )
+
+    decision = frontier.select(mode=args.mode, constraints=constraints or None)
+    best = decision["best"]
+    print()
+    print(
+        f"decision [{decision['decision']['mode']}]: {best.generator} — "
+        f"{best.vector.time_ms:.2f} ms, "
+        f"{best.vector.peak_workspace_bytes / 1024.0:.1f} KiB peak workspace, "
+        f"{best.vector.energy_proxy_j * 1e3:.3f} mJ ({_family_summary(best.plan, session.library)})"
+    )
+    if decision["decision"].get("fallback_from"):
+        print("  (no frontier point satisfies the constraints; knee shown instead)")
+    if args.save:
+        frontier.save(args.save)
+        print(f"  frontier written to {args.save}")
     return 0
 
 
@@ -396,7 +526,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command in ("select", "run", "compare"):
+    if args.command in ("select", "run", "compare", "frontier"):
         args.model = _resolve_model(parser, args)
     if hasattr(args, "platform"):
         # Validate up front so every subcommand shares the registry-backed
@@ -406,6 +536,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "select": _command_select,
         "run": _command_run,
         "compare": _command_compare,
+        "frontier": _command_frontier,
         "cache": _command_cache,
         "figures": _command_figures,
         "tables": _command_tables,

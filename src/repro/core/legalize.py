@@ -74,6 +74,8 @@ def finalize_plan(
                 input_layout=primitive.input_layout,
                 output_layout=primitive.output_layout,
                 cost=cost,
+                workspace_bytes=tables.primitive_workspace(layer.name, primitive_name),
+                energy_j=tables.primitive_energy(layer.name, primitive_name),
             )
         else:
             if layer.name not in wildcard_layouts:
@@ -108,6 +110,9 @@ def finalize_plan(
                 target_layout=consumer_decision.input_layout,
                 chain=path.chain,
                 cost=path.cost,
+                energy_j=tables.conversion_energy(
+                    shape, producer_decision.output_layout, consumer_decision.input_layout
+                ),
             )
         )
 

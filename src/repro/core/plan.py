@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 from repro.layouts.layout import Layout
 from repro.layouts.transforms import TransformChain
+from repro.multiobj.vector import CostVector
 
 
 @dataclass
@@ -32,6 +33,11 @@ class LayerDecision:
     output_layout: Layout
     cost: float = 0.0
     note: str = ""
+    #: Peak scratch workspace (bytes) of the selected primitive; 0 for
+    #: non-convolution layers and for plans predating the vector cost layer.
+    workspace_bytes: float = 0.0
+    #: Energy proxy (joules) of the selected primitive; 0 when not modelled.
+    energy_j: float = 0.0
 
 
 @dataclass
@@ -44,6 +50,8 @@ class EdgeDecision:
     target_layout: Layout
     chain: Optional[TransformChain]
     cost: float = 0.0
+    #: Energy proxy (joules) of the conversion chain; 0 when not modelled.
+    energy_j: float = 0.0
 
     @property
     def needs_conversion(self) -> bool:
@@ -92,6 +100,33 @@ class NetworkPlan:
     def per_image_ms(self) -> float:
         """Whole-network cost per image, in milliseconds."""
         return self.total_ms / self.batch
+
+    @property
+    def peak_workspace_bytes(self) -> float:
+        """Largest per-layer scratch footprint of the plan, in bytes.
+
+        Peak memory is a *max*, not a sum: layers execute sequentially and
+        their workspaces are released between layers, so the plan's peak is
+        the single worst layer.
+        """
+        if not self.layer_decisions:
+            return 0.0
+        return max(d.workspace_bytes for d in self.layer_decisions.values())
+
+    @property
+    def energy_proxy_j(self) -> float:
+        """Whole-network energy proxy, in joules (primitives plus conversions)."""
+        return sum(d.energy_j for d in self.layer_decisions.values()) + sum(
+            e.energy_j for e in self.edge_decisions
+        )
+
+    def cost_vector(self) -> CostVector:
+        """The plan's full (time, peak workspace, energy) objective vector."""
+        return CostVector(
+            time_ms=self.total_ms,
+            peak_workspace_bytes=self.peak_workspace_bytes,
+            energy_proxy_j=self.energy_proxy_j,
+        )
 
     # -- queries --------------------------------------------------------------------
 

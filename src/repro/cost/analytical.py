@@ -36,6 +36,7 @@ from typing import Tuple
 from repro.cost.platform import Platform
 from repro.graph.scenario import ConvScenario
 from repro.layouts.transforms import LayoutTransform
+from repro.multiobj.vector import CostVector
 from repro.primitives.base import ConvPrimitive, PrimitiveFamily
 
 
@@ -88,6 +89,20 @@ class ModelParameters:
     #: 256-bit GEMM-shaped kernels achieve (the compiler re-vectorizes the
     #: inner loops; tails and port pressure eat some of the doubling).
     wide_recompile_efficiency: float = 0.85
+    #: Energy proxy: picojoules per arithmetic operation.  Together with the
+    #: per-byte terms below this prices an *energy ordering* of primitives
+    #: that deliberately differs from the time ordering — FFT spends few
+    #: operations on much traffic, the direct loops spend many operations on
+    #: little traffic — so the multi-objective frontier is genuinely
+    #: three-dimensional rather than time re-scaled.
+    energy_per_flop_pj: float = 0.7
+    #: Picojoules per byte served from the per-core cache tier.
+    energy_per_cache_byte_pj: float = 0.6
+    #: Picojoules per byte served from the last-level cache tier.
+    energy_per_llc_byte_pj: float = 2.0
+    #: Picojoules per byte served from DRAM (an order of magnitude above
+    #: on-chip accesses — the classic "data movement dominates" asymmetry).
+    energy_per_dram_byte_pj: float = 15.0
 
 
 class AnalyticalCostModel:
@@ -285,6 +300,79 @@ class AnalyticalCostModel:
 
         loop_util = params.loop_efficiency_base + params.loop_efficiency_locality * locality
         return traits.gemm_fraction * gemm_util + (1.0 - traits.gemm_fraction) * loop_util
+
+    # -- multi-objective costs --------------------------------------------------------
+
+    def primitive_workspace_bytes(
+        self, primitive: ConvPrimitive, scenario: ConvScenario
+    ) -> float:
+        """Peak per-invocation scratch footprint of one primitive, in bytes.
+
+        Per image, matching the streaming assumption of :meth:`primitive_cost`
+        (a batch reuses one image's buffers), and fp32 like the rest of the
+        model.
+        """
+        return 4.0 * primitive.workspace_elements(scenario.per_image)
+
+    def primitive_energy(
+        self, primitive: ConvPrimitive, scenario: ConvScenario, threads: int = 1
+    ) -> float:
+        """Energy proxy (joules) of one primitive invocation.
+
+        Operations times a per-flop energy plus memory traffic times a
+        per-byte energy whose tier follows the same footprint classification
+        as the bandwidth model.  Threads do not change the energy: the same
+        work is done, merely faster.
+        """
+        params = self.parameters
+        platform = self.platform
+        per_image = scenario.per_image
+        ops = primitive.arithmetic_ops(scenario)
+        workspace_bytes = 4.0 * primitive.workspace_elements(per_image)
+        tensor_bytes = 4.0 * (
+            scenario.input_elements() + scenario.output_elements() + scenario.kernel_elements()
+        )
+        tensor_bytes_image = 4.0 * (
+            per_image.input_elements()
+            + per_image.output_elements()
+            + per_image.kernel_elements()
+        )
+        traffic_bytes = (
+            tensor_bytes + params.workspace_traffic_weight * workspace_bytes * scenario.batch
+        )
+        footprint = tensor_bytes_image + workspace_bytes
+        if footprint <= platform.per_core_cache_bytes():
+            per_byte_pj = params.energy_per_cache_byte_pj
+        elif footprint <= platform.last_level_cache_bytes():
+            per_byte_pj = params.energy_per_llc_byte_pj
+        else:
+            per_byte_pj = params.energy_per_dram_byte_pj
+        return 1e-12 * (ops * params.energy_per_flop_pj + traffic_bytes * per_byte_pj)
+
+    def primitive_cost_vector(
+        self, primitive: ConvPrimitive, scenario: ConvScenario, threads: int = 1
+    ) -> CostVector:
+        """The (time, peak workspace, energy) vector of one primitive."""
+        return CostVector(
+            time_ms=1e3 * self.primitive_cost(primitive, scenario, threads=threads),
+            peak_workspace_bytes=self.primitive_workspace_bytes(primitive, scenario),
+            energy_proxy_j=self.primitive_energy(primitive, scenario, threads=threads),
+        )
+
+    def transform_energy(
+        self,
+        transform: LayoutTransform,
+        shape: Tuple[int, int, int],
+        batch: int = 1,
+    ) -> float:
+        """Energy proxy (joules) of one layout transformation.
+
+        Gather/scatter loops stream through memory, so every moved byte is
+        charged at the DRAM rate; layout conversions contribute no scratch
+        workspace beyond the destination tensor (already counted as traffic).
+        """
+        bytes_moved = 4.0 * batch * transform.element_traffic(*shape)
+        return 1e-12 * bytes_moved * self.parameters.energy_per_dram_byte_pj
 
     # -- layout transformations -------------------------------------------------------
 

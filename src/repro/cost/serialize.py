@@ -25,8 +25,14 @@ from repro.layouts.transforms import TransformChain
 
 PathLike = Union[str, Path]
 
-#: Format identifier embedded in every serialized document.
-COST_TABLE_FORMAT = "repro/cost-tables/v1"
+#: Format identifier embedded in every serialized document.  Cost tables are
+#: at v2: the multi-objective layer added per-primitive workspace and energy
+#: tables plus per-conversion energies, which the frontier cannot function
+#: without — so v1 documents are rejected here (and treated as cache misses
+#: by :class:`~repro.cost.store.CostStore`) rather than half-loaded.  Plans
+#: stay at v1: the vector fields are optional keys that default to zero on
+#: older documents.
+COST_TABLE_FORMAT = "repro/cost-tables/v2"
 PLAN_FORMAT = "repro/plan/v1"
 
 
@@ -82,6 +88,12 @@ def cost_tables_to_dict(tables: CostTables) -> dict:
         }
         for shape, pairs in tables.dt_paths.items()
     }
+    dt_energy = {
+        _shape_key(shape): {
+            f"{src}->{dst}": energy for (src, dst), energy in pairs.items()
+        }
+        for shape, pairs in tables.dt_energy.items()
+    }
     return {
         "format": COST_TABLE_FORMAT,
         "network": tables.network_name,
@@ -90,7 +102,10 @@ def cost_tables_to_dict(tables: CostTables) -> dict:
         "scenarios": scenarios,
         "shapes": {layer: list(shape) for layer, shape in tables.shapes.items()},
         "node_costs": tables.node_costs,
+        "node_workspace": tables.node_workspace,
+        "node_energy": tables.node_energy,
         "dt_costs": dt_costs,
+        "dt_energy": dt_energy,
         "dt_hops": dt_hops,
     }
 
@@ -107,6 +122,12 @@ def cost_tables_from_dict(document: dict, dt_graph: DTGraph) -> CostTables:
 
     dt_costs: Dict[Tuple[int, int, int], Dict[Tuple[str, str], float]] = {}
     dt_paths: Dict[Tuple[int, int, int], Dict[Tuple[str, str], DTPath]] = {}
+    dt_energy: Dict[Tuple[int, int, int], Dict[Tuple[str, str], float]] = {}
+    for shape_key, pairs in document.get("dt_energy", {}).items():
+        dt_energy[_parse_shape(shape_key)] = {
+            tuple(pair_key.split("->")): float(energy)
+            for pair_key, energy in pairs.items()
+        }
     for shape_key, pairs in document["dt_costs"].items():
         shape = _parse_shape(shape_key)
         costs: Dict[Tuple[str, str], float] = {}
@@ -144,6 +165,14 @@ def cost_tables_from_dict(document: dict, dt_graph: DTGraph) -> CostTables:
         layer: {name: float(cost) for name, cost in costs.items()}
         for layer, costs in document["node_costs"].items()
     }
+    node_workspace = {
+        layer: {name: float(value) for name, value in values.items()}
+        for layer, values in document.get("node_workspace", {}).items()
+    }
+    node_energy = {
+        layer: {name: float(value) for name, value in values.items()}
+        for layer, values in document.get("node_energy", {}).items()
+    }
     return CostTables(
         network_name=document["network"],
         threads=int(document["threads"]),
@@ -153,6 +182,9 @@ def cost_tables_from_dict(document: dict, dt_graph: DTGraph) -> CostTables:
         dt_paths=dt_paths,
         dt_costs=dt_costs,
         batch=int(document.get("batch", 1)),
+        node_workspace=node_workspace,
+        node_energy=node_energy,
+        dt_energy=dt_energy,
     )
 
 
@@ -188,6 +220,8 @@ def plan_to_dict(plan: NetworkPlan) -> dict:
                 "output_layout": d.output_layout.name,
                 "cost": d.cost,
                 "note": d.note,
+                "workspace_bytes": d.workspace_bytes,
+                "energy_j": d.energy_j,
             }
             for d in plan.layer_decisions.values()
         ],
@@ -205,10 +239,12 @@ def plan_to_dict(plan: NetworkPlan) -> dict:
                     else []
                 ),
                 "cost": e.cost,
+                "energy_j": e.energy_j,
             }
             for e in plan.edge_decisions
         ],
         "total_ms": plan.total_ms,
+        "cost_vector": plan.cost_vector().to_dict(),
     }
 
 
@@ -231,6 +267,8 @@ def plan_from_dict(document: dict, dt_graph: DTGraph) -> NetworkPlan:
             output_layout=get_layout(entry["output_layout"]),
             cost=float(entry["cost"]),
             note=entry.get("note", ""),
+            workspace_bytes=float(entry.get("workspace_bytes", 0.0)),
+            energy_j=float(entry.get("energy_j", 0.0)),
         )
     for entry in document["edges"]:
         hops = entry["hops"]
@@ -258,6 +296,7 @@ def plan_from_dict(document: dict, dt_graph: DTGraph) -> NetworkPlan:
                 target_layout=get_layout(entry["target_layout"]),
                 chain=chain,
                 cost=float(entry["cost"]),
+                energy_j=float(entry.get("energy_j", 0.0)),
             )
         )
     return plan

@@ -40,12 +40,14 @@ PathLike = Union[str, Path]
 #: the key schema (and to the filename digest); v3 added ``platform_version``
 #: (the platform registry version plus the platform's parameter digest), so
 #: editing a platform's modelled numbers — or registering a different
-#: platform under a reused name — invalidates its persisted tables.  Bumping
-#: the version makes the skew explicit in both directions — older-format
-#: entries are skipped by :meth:`CostStore.entries` (and removed by
-#: :meth:`CostStore.clear`) instead of being half-parsed, and older checkouts
-#: reject v3 documents outright.
-STORE_ENTRY_FORMAT = "repro/cost-store-entry/v3"
+#: platform under a reused name — invalidates its persisted tables; v4 holds
+#: the multi-objective cost-table payload (per-primitive workspace and energy
+#: plus per-conversion energies, ``repro/cost-tables/v2``).  Bumping the
+#: version makes the skew explicit in both directions — older-format entries
+#: are *regenerated and overwritten* by :meth:`CostStore.tables`, skipped by
+#: :meth:`CostStore.entries` (and removed by :meth:`CostStore.clear`) instead
+#: of being half-parsed, and older checkouts reject v4 documents outright.
+STORE_ENTRY_FORMAT = "repro/cost-store-entry/v4"
 
 
 @dataclass(frozen=True)
@@ -166,13 +168,24 @@ class CostStore:
         return self.provider.cost_model(platform)
 
     def tables(self, query: CostQuery) -> CostTables:
-        """Load the query's tables from disk, or produce and persist them."""
+        """Load the query's tables from disk, or produce and persist them.
+
+        An on-disk entry in an older (or corrupt) format is a *miss*, not an
+        error: the entry filename encodes the key but not the entry format,
+        so a format bump would otherwise turn every warm cache directory into
+        a crash.  Stale entries are regenerated and overwritten in place.
+        """
         key = self.key_for(query)
         path = self.path_for(key)
         if path.exists():
-            document = json.loads(path.read_text())
-            self._hits += 1
-            return cost_tables_from_dict(document["tables"], query.dt_graph)
+            try:
+                document = json.loads(path.read_text())
+                if document.get("format") == STORE_ENTRY_FORMAT:
+                    loaded = cost_tables_from_dict(document["tables"], query.dt_graph)
+                    self._hits += 1
+                    return loaded
+            except (OSError, json.JSONDecodeError, KeyError, ValueError):
+                pass
         tables = self.provider.tables(query)
         self._misses += 1
         self._write(path, key, tables)

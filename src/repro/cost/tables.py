@@ -22,7 +22,7 @@ platform model or from the wall-clock profiler.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 from repro.cost.model import CostModel
@@ -30,6 +30,7 @@ from repro.graph.network import Network
 from repro.graph.scenario import ConvScenario
 from repro.layouts.dt_graph import DTGraph, DTPath
 from repro.layouts.layout import Layout
+from repro.multiobj.vector import CostVector
 from repro.primitives.registry import PrimitiveLibrary
 
 Shape = Tuple[int, int, int]
@@ -53,10 +54,37 @@ class CostTables:
     dt_costs: Dict[Shape, Dict[Tuple[str, str], float]]
     #: Minibatch size the costs were produced for (1 = the paper's setting).
     batch: int = 1
+    #: layer name -> primitive name -> peak scratch workspace in bytes.
+    node_workspace: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: layer name -> primitive name -> energy proxy in joules.
+    node_energy: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: tensor shape -> (source, target layout name) -> conversion energy (J).
+    dt_energy: Dict[Shape, Dict[Tuple[str, str], float]] = field(default_factory=dict)
 
     def primitive_cost(self, layer: str, primitive: str) -> float:
         """Cost of implementing ``layer`` with ``primitive``."""
         return self.node_costs[layer][primitive]
+
+    def primitive_workspace(self, layer: str, primitive: str) -> float:
+        """Peak scratch workspace (bytes) of one primitive on one layer.
+
+        Tables produced before the multi-objective layer carry no workspace
+        data; those report 0 rather than failing, so scalar-only callers are
+        unaffected.
+        """
+        return self.node_workspace.get(layer, {}).get(primitive, 0.0)
+
+    def primitive_energy(self, layer: str, primitive: str) -> float:
+        """Energy proxy (joules) of one primitive on one layer (0 if absent)."""
+        return self.node_energy.get(layer, {}).get(primitive, 0.0)
+
+    def primitive_vector(self, layer: str, primitive: str) -> CostVector:
+        """The full (time, workspace, energy) vector of one node alternative."""
+        return CostVector(
+            time_ms=1e3 * self.node_costs[layer][primitive],
+            peak_workspace_bytes=self.primitive_workspace(layer, primitive),
+            energy_proxy_j=self.primitive_energy(layer, primitive),
+        )
 
     def cheapest_primitive(self, layer: str) -> Tuple[str, float]:
         """The fastest primitive for a layer, considered in isolation."""
@@ -71,6 +99,10 @@ class CostTables:
     def conversion_path(self, shape: Shape, source: Layout, target: Layout) -> DTPath:
         """Cheapest conversion chain between two layouts at a tensor shape."""
         return self.dt_paths[shape][(source.name, target.name)]
+
+    def conversion_energy(self, shape: Shape, source: Layout, target: Layout) -> float:
+        """Energy proxy (joules) of the cheapest conversion chain (0 if absent)."""
+        return self.dt_energy.get(shape, {}).get((source.name, target.name), 0.0)
 
     def layers(self) -> List[str]:
         """Names of the convolution layers covered by these tables."""
@@ -118,12 +150,30 @@ def build_cost_tables(
     }
     shapes = network.infer_shapes()
 
+    # The scalar time tables are what the paper ships; the workspace and
+    # energy tables extend them into cost *vectors*.  Workspace is a property
+    # of the primitive alone; energy needs model support (the analytical
+    # model provides it, the wall-clock profiler does not — its tables carry
+    # zero energy, which the frontier treats as "objective not modelled").
+    energy_fn = getattr(cost_model, "primitive_energy", None)
+    transform_energy_fn = getattr(cost_model, "transform_energy", None)
+
     node_costs: Dict[str, Dict[str, float]] = {}
+    node_workspace: Dict[str, Dict[str, float]] = {}
+    node_energy: Dict[str, Dict[str, float]] = {}
     for layer_name, scenario in scenarios.items():
         per_primitive: Dict[str, float] = {}
+        per_workspace: Dict[str, float] = {}
+        per_energy: Dict[str, float] = {}
         for primitive in library.applicable(scenario, platform=platform):
             per_primitive[primitive.name] = cost_model.primitive_cost(
                 primitive, scenario, threads=threads
+            )
+            per_workspace[primitive.name] = 4.0 * primitive.workspace_elements(
+                scenario.per_image
+            )
+            per_energy[primitive.name] = (
+                energy_fn(primitive, scenario, threads=threads) if energy_fn else 0.0
             )
         if not per_primitive:
             raise ValueError(
@@ -131,11 +181,14 @@ def build_cost_tables(
                 f"[{scenario.describe()}]"
             )
         node_costs[layer_name] = per_primitive
+        node_workspace[layer_name] = per_workspace
+        node_energy[layer_name] = per_energy
 
     # Every distinct producer-output shape needs one all-pairs DT solution.
     edge_shapes = {shapes[edge.producer] for edge in network.edges()}
     dt_paths: Dict[Shape, Dict[Tuple[str, str], DTPath]] = {}
     dt_costs: Dict[Shape, Dict[Tuple[str, str], float]] = {}
+    dt_energy: Dict[Shape, Dict[Tuple[str, str], float]] = {}
     for shape in edge_shapes:
         paths = dt_graph.all_pairs_shortest_paths(
             shape,
@@ -145,6 +198,21 @@ def build_cost_tables(
         )
         dt_paths[shape] = paths
         dt_costs[shape] = {pair: path.cost for pair, path in paths.items()}
+        energies: Dict[Tuple[str, str], float] = {}
+        for pair, path in paths.items():
+            if not path.reachable:
+                energies[pair] = float("inf")
+            elif transform_energy_fn is None or path.chain is None:
+                energies[pair] = 0.0
+            else:
+                energies[pair] = sum(
+                    (
+                        transform_energy_fn(hop, shape, batch=batch)
+                        for hop in path.chain.transforms
+                    ),
+                    0.0,
+                )
+        dt_energy[shape] = energies
 
     return CostTables(
         network_name=network.name,
@@ -155,4 +223,7 @@ def build_cost_tables(
         dt_paths=dt_paths,
         dt_costs=dt_costs,
         batch=batch,
+        node_workspace=node_workspace,
+        node_energy=node_energy,
+        dt_energy=dt_energy,
     )

@@ -17,7 +17,10 @@ per-experiment index in DESIGN.md):
   in DESIGN.md (DT-cost awareness, exact vs heuristic solving);
 * :mod:`repro.experiments.batch_scaling` — the post-paper batching study:
   how the PBQP selections shift as the minibatch size grows, versus replaying
-  the batch-1 plan at larger batches.
+  the batch-1 plan at larger batches;
+* :mod:`repro.experiments.memory_budget` — the multi-objective study: how a
+  peak-workspace cap flips per-layer family selections across the platform
+  zoo (epsilon-constraint solves from :mod:`repro.multiobj.frontier`).
 """
 
 from repro.experiments.whole_network import (
@@ -39,6 +42,10 @@ from repro.experiments.batch_scaling import (
     BatchScalingResult,
     replay_plan,
     run_batch_scaling,
+)
+from repro.experiments.memory_budget import (
+    MemoryBudgetResult,
+    run_memory_budget,
 )
 
 
@@ -69,4 +76,6 @@ __all__ = [
     "BatchScalingResult",
     "replay_plan",
     "run_batch_scaling",
+    "MemoryBudgetResult",
+    "run_memory_budget",
 ]

@@ -27,6 +27,7 @@ MODEL_BUILDERS = {
     "vgg-d": lambda: build_vgg("D"),
     "vgg-e": lambda: build_vgg("E"),
     "googlenet": build_googlenet,
+    "googlenet-aux": lambda: build_googlenet(aux_classifiers=True),
     "resnet18": build_resnet18,
     "mobilenet_v1": build_mobilenet_v1,
 }

@@ -4,8 +4,11 @@ Figure 3 of the primitive-selection paper shows the inception module as the
 motivating example of a DAG-shaped subgraph where per-edge layout decisions
 interact: the module has four parallel branches whose outputs are channel-
 concatenated.  This builder reconstructs the full 22-layer GoogLeNet
-inference graph (auxiliary classifiers omitted, as they are not executed at
-inference time) from Table 1 of the GoogLeNet paper, input 3 x 224 x 224.
+inference graph from Table 1 of the GoogLeNet paper, input 3 x 224 x 224.
+By default the two auxiliary classifiers are omitted (they are not executed
+at inference time); ``aux_classifiers=True`` (the zoo's ``googlenet-aux``)
+attaches them after ``inception_4a`` and ``inception_4d``, producing a
+three-output network that exercises multi-head execution and reporting.
 """
 
 from __future__ import annotations
@@ -98,9 +101,44 @@ def _add_inception(net: Network, spec: InceptionSpec, source: str) -> str:
     return concat_name
 
 
-def build_googlenet(input_size: int = 224) -> Network:
-    """Build the GoogLeNet inference graph (no auxiliary classifiers)."""
-    net = Network("googlenet")
+def _add_aux_classifier(net: Network, name: str, source: str) -> None:
+    """Attach one auxiliary classifier head (section 5 of the GoogLeNet paper).
+
+    Average-pool 5x5/3, a 1x1 convolution to 128 channels, a 1024-unit FC
+    layer, dropout and a 1000-way softmax — a full extra output head whose
+    softmax is never consumed by any other layer.
+    """
+    pool_name = f"{name}/ave_pool"
+    net.add_layer(
+        PoolLayer(pool_name, kernel=5, stride=3, padding=0, mode=PoolMode.AVERAGE),
+        [source],
+    )
+    conv = _add_conv_relu(net, f"{name}/conv", pool_name, 128, kernel=1, padding=0)
+    net.add_layer(FlattenLayer(f"{name}/flatten"), [conv])
+    net.add_layer(
+        FullyConnectedLayer(f"{name}/fc", out_features=1024), [f"{name}/flatten"]
+    )
+    net.add_layer(ReLULayer(f"{name}/relu_fc"), [f"{name}/fc"])
+    net.add_layer(DropoutLayer(f"{name}/drop_fc", ratio=0.7), [f"{name}/relu_fc"])
+    net.add_layer(
+        FullyConnectedLayer(f"{name}/classifier", out_features=1000),
+        [f"{name}/drop_fc"],
+    )
+    net.add_layer(SoftmaxLayer(f"{name}/prob"), [f"{name}/classifier"])
+
+
+#: Where the two auxiliary classifiers attach (GoogLeNet paper, section 5).
+_AUX_ATTACH_POINTS = {"inception_4a": "loss1", "inception_4d": "loss2"}
+
+
+def build_googlenet(input_size: int = 224, aux_classifiers: bool = False) -> Network:
+    """Build the GoogLeNet inference graph.
+
+    With ``aux_classifiers=True`` the two training-time auxiliary heads are
+    attached and the network has three output layers (``loss1/prob``,
+    ``loss2/prob`` and the primary ``prob``).
+    """
+    net = Network("googlenet-aux" if aux_classifiers else "googlenet")
     net.add_layer(InputLayer("data", shape=(3, input_size, input_size)))
 
     net.add_layer(
@@ -130,6 +168,8 @@ def build_googlenet(input_size: int = 224) -> Network:
     previous = "pool2/3x3_s2"
     for spec in INCEPTION_SPECS:
         previous = _add_inception(net, spec, previous)
+        if aux_classifiers and spec.name in _AUX_ATTACH_POINTS:
+            _add_aux_classifier(net, _AUX_ATTACH_POINTS[spec.name], previous)
         if spec.name == "inception_3b":
             net.add_layer(
                 PoolLayer("pool3/3x3_s2", kernel=3, stride=2, mode=PoolMode.MAX), [previous]

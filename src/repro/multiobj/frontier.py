@@ -1,0 +1,524 @@
+"""Pareto frontiers over whole-network plans.
+
+The scalar PBQP selector answers "what is the fastest instantiation of this
+network?".  The frontier answers the deployment question behind it: *what are
+the best achievable trade-offs between time, peak scratch memory and energy,
+and which plan should I ship under my budgets?*
+
+Candidate whole-network plans come from three generators, in priority order:
+
+1. **Seed strategies** — the scalar PBQP plan first (so the frontier's
+   min-time point is exactly the paper's plan), then every applicable
+   non-framework baseline (per-family greedy, local-optimal, ...).
+2. **Epsilon-constraint solves** — peak workspace is a *max* over layers, so
+   pruning every primitive whose workspace exceeds a cap and re-running PBQP
+   encodes a peak-workspace budget *exactly*; sweeping the cap over the
+   distinct per-primitive workspace levels walks the time/memory trade-off.
+3. **Weighted scalarization solves** — PBQP over normalized weighted sums of
+   the three objectives.  Approximate for the max-type memory objective (a
+   sum of per-layer workspaces is not the peak), so these are candidate
+   *generators* only: every candidate is re-evaluated with its exact
+   :meth:`~repro.core.plan.NetworkPlan.cost_vector` before the nondominated
+   sort.
+
+Duplicates (same per-layer decisions) are removed, candidates are evaluated
+exactly, and :func:`~repro.multiobj.pareto._pareto_front` keeps the
+nondominated set.  Decisions over the front (``knee``, ``min_time_under``,
+``lexicographic``) use seeded deterministic tie-breaking, and the serialized
+frontier is byte-identical across runs for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.legalize import finalize_plan
+from repro.core.plan import NetworkPlan
+from repro.core.selector import PBQPSelector, SelectionContext
+from repro.core.strategies import applicable_strategies
+from repro.cost.serialize import plan_from_dict, plan_to_dict
+from repro.layouts.dt_graph import DTGraph
+from repro.layouts.layout import CHW, Layout
+from repro.multiobj.pareto import (
+    _pareto_front,
+    knee_index,
+    lexicographic_index,
+    min_time_under_index,
+)
+from repro.multiobj.vector import OBJECTIVES, CostVector
+
+FRONTIER_FORMAT = "repro/frontier/v1"
+
+#: (time, workspace, energy) weight triples of the scalarization generator.
+#: Time keeps a non-zero weight except where energy is non-zero: an edge with
+#: no reachable conversion must stay infinitely expensive under every triple,
+#: and edges carry only time and energy.
+SCALARIZATION_WEIGHTS: Tuple[Tuple[float, float, float], ...] = (
+    (1.0, 0.0, 0.0),
+    (0.7, 0.3, 0.0),
+    (0.7, 0.0, 0.3),
+    (0.5, 0.25, 0.25),
+    (0.34, 0.33, 0.33),
+    (0.2, 0.4, 0.4),
+    (0.1, 0.0, 0.9),
+)
+
+#: Default number of epsilon-constraint workspace caps swept per build.
+DEFAULT_BUDGET_STEPS = 8
+
+
+@dataclass
+class FrontierPoint:
+    """One nondominated plan with its exact objective vector."""
+
+    plan: NetworkPlan
+    vector: CostVector
+    #: Which generator produced the plan (``"strategy:pbqp"``,
+    #: ``"cap:<bytes>"``, ``"weights:t/m/e"``).
+    generator: str
+
+    def to_dict(self) -> dict:
+        return {
+            "generator": self.generator,
+            "vector": self.vector.to_dict(),
+            "plan": plan_to_dict(self.plan),
+        }
+
+    @classmethod
+    def from_dict(cls, document: dict, dt_graph: DTGraph) -> "FrontierPoint":
+        return cls(
+            plan=plan_from_dict(document["plan"], dt_graph),
+            vector=CostVector.from_dict(document["vector"]),
+            generator=document["generator"],
+        )
+
+
+@dataclass
+class Frontier:
+    """The Pareto front of whole-network plans for one selection context."""
+
+    network_name: str
+    platform_name: str
+    threads: int
+    batch: int
+    seed: int
+    #: Nondominated points, sorted by ascending time (stable, so among
+    #: equal-time points the higher-priority generator comes first).
+    points: List[FrontierPoint] = field(default_factory=list)
+    #: ``{objective}_max`` bounds the frontier was built under (advisory:
+    #: candidates violating them are still kept on the front so the budget
+    #: sweep can show what the budget costs; decisions apply them strictly).
+    constraints: Dict[str, float] = field(default_factory=dict)
+    #: How many distinct candidate plans were evaluated.
+    candidates_evaluated: int = 0
+    #: How many evaluated candidates were dominated (or duplicates).
+    dominated_count: int = 0
+    #: Wall-clock seconds spent building the frontier (all PBQP solves).
+    solve_seconds: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self):
+        return iter(self.points)
+
+    # -- decisions --------------------------------------------------------------
+
+    def min_time(self) -> FrontierPoint:
+        """The unconstrained fastest point (the scalar PBQP plan)."""
+        if not self.points:
+            raise ValueError("frontier is empty")
+        return self.points[0]
+
+    def knee(self) -> FrontierPoint:
+        """The knee point: closest to the per-objective ideal (seeded ties)."""
+        vectors = [point.vector for point in self.points]
+        return self.points[knee_index(vectors, seed=self.seed)]
+
+    def min_time_under(
+        self, constraints: Optional[Dict[str, float]] = None
+    ) -> Optional[FrontierPoint]:
+        """Fastest point satisfying ``{objective}_max`` bounds (or ``None``).
+
+        Defaults to the constraints the frontier was built with.
+        """
+        bounds = constraints if constraints is not None else self.constraints
+        vectors = [point.vector for point in self.points]
+        index = min_time_under_index(vectors, bounds, seed=self.seed)
+        return None if index is None else self.points[index]
+
+    def lexicographic(self, order: Sequence[str] = OBJECTIVES) -> FrontierPoint:
+        """Minimum under a most-important-first objective ordering."""
+        vectors = [point.vector for point in self.points]
+        return self.points[lexicographic_index(vectors, order=order, seed=self.seed)]
+
+    def select(
+        self,
+        mode: str = "knee",
+        constraints: Optional[Dict[str, float]] = None,
+        order: Sequence[str] = OBJECTIVES,
+    ) -> dict:
+        """ECC-selector shaped decision: pareto set, best point, decision record.
+
+        ``mode`` is ``"knee"``, ``"min_time_under"`` or ``"lexicographic"``.
+        ``min_time_under`` falls back to the knee (recorded in the decision)
+        when no point satisfies the constraints.
+        """
+        if mode == "knee":
+            best: Optional[FrontierPoint] = self.knee()
+            decision = {"mode": "knee", "seed": self.seed}
+        elif mode == "min_time_under":
+            best = self.min_time_under(constraints)
+            if best is None:
+                best = self.knee()
+                decision = {
+                    "mode": "knee",
+                    "seed": self.seed,
+                    "fallback_from": "min_time_under",
+                }
+            else:
+                decision = {"mode": "min_time_under", "seed": self.seed}
+        elif mode == "lexicographic":
+            best = self.lexicographic(order)
+            decision = {"mode": "lexicographic", "seed": self.seed, "order": list(order)}
+        else:
+            raise ValueError(
+                f"unknown decision mode {mode!r}; expected 'knee', "
+                "'min_time_under' or 'lexicographic'"
+            )
+        return {"pareto": list(self.points), "best": best, "decision": decision}
+
+    # -- reporting --------------------------------------------------------------
+
+    def format(self) -> str:
+        """Human-readable frontier table."""
+        plural = "s" if self.threads != 1 else ""
+        batch = f", batch {self.batch}" if self.batch != 1 else ""
+        lines = [
+            f"Pareto frontier — {self.network_name} on {self.platform_name} "
+            f"({self.threads} thread{plural}{batch}, seed {self.seed})",
+            f"  {len(self.points)} nondominated of {self.candidates_evaluated} "
+            f"candidate plans ({self.solve_seconds * 1e3:.0f} ms to build)",
+            f"  {'time ms':>10} {'workspace KiB':>14} {'energy mJ':>10}  generator",
+        ]
+        for point in self.points:
+            vector = point.vector
+            lines.append(
+                f"  {vector.time_ms:>10.2f} "
+                f"{vector.peak_workspace_bytes / 1024.0:>14.1f} "
+                f"{vector.energy_proxy_j * 1e3:>10.3f}  {point.generator}"
+            )
+        return "\n".join(lines)
+
+    # -- serialization ----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": FRONTIER_FORMAT,
+            "network": self.network_name,
+            "platform": self.platform_name,
+            "threads": self.threads,
+            "batch": self.batch,
+            "seed": self.seed,
+            "constraints": dict(self.constraints),
+            "candidates_evaluated": self.candidates_evaluated,
+            "dominated_count": self.dominated_count,
+            "points": [point.to_dict() for point in self.points],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON: key-sorted and without volatile fields.
+
+        ``solve_seconds`` is deliberately excluded so the output is
+        byte-identical across runs under a fixed seed.
+        """
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_dict(cls, document: dict, dt_graph: DTGraph) -> "Frontier":
+        if document.get("format") != FRONTIER_FORMAT:
+            raise ValueError(f"unexpected frontier format {document.get('format')!r}")
+        return cls(
+            network_name=document["network"],
+            platform_name=document["platform"],
+            threads=int(document["threads"]),
+            batch=int(document.get("batch", 1)),
+            seed=int(document.get("seed", 0)),
+            points=[
+                FrontierPoint.from_dict(entry, dt_graph)
+                for entry in document["points"]
+            ],
+            constraints={
+                key: float(value)
+                for key, value in document.get("constraints", {}).items()
+            },
+            candidates_evaluated=int(document.get("candidates_evaluated", 0)),
+            dominated_count=int(document.get("dominated_count", 0)),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path], dt_graph: DTGraph) -> "Frontier":
+        return cls.from_dict(json.loads(Path(path).read_text()), dt_graph)
+
+
+# ---------------------------------------------------------------------------
+# Candidate generation
+# ---------------------------------------------------------------------------
+
+
+def _solve_with_tables(
+    context: SelectionContext, modified: SelectionContext, label: str
+) -> Optional[NetworkPlan]:
+    """Solve PBQP on ``modified`` tables, finalize against the *original* ones.
+
+    The modified tables steer the search (gated or scalarized costs); the
+    returned plan's decisions are re-priced from the true tables so its cost
+    vector is exact.  Returns ``None`` when the gated instance is infeasible.
+    """
+    selector = PBQPSelector()
+    graph, id_to_layer = selector.build_pbqp(modified)
+    solution = selector.solver.solve(graph)
+
+    conv_primitives: Dict[str, str] = {}
+    wildcard_layouts: Dict[str, Layout] = {}
+    layout_by_name = {layout.name: layout for layout in context.dt_graph.layouts}
+    layout_by_name.setdefault(CHW.name, CHW)
+    for node_id, index in solution.assignment.items():
+        layer_name = id_to_layer[node_id]
+        layer = context.network.layer(layer_name)
+        candidate_label = graph.node(node_id).label_of(index)
+        if layer.is_convolution:
+            conv_primitives[layer_name] = candidate_label
+        else:
+            wildcard_layouts[layer_name] = layout_by_name[candidate_label]
+    plan = finalize_plan(context, "frontier", conv_primitives, wildcard_layouts)
+    plan.metadata["generator"] = label
+    return plan
+
+
+def _workspace_gated_tables(context: SelectionContext, cap_bytes: float):
+    """Tables with every primitive above the per-layer workspace cap pruned.
+
+    Returns ``None`` when some layer would lose all of its primitives — the
+    cap is below that layer's lowest-workspace alternative, so the PBQP
+    instance is infeasible.
+    """
+    tables = context.tables
+    gated: Dict[str, Dict[str, float]] = {}
+    for layer, costs in tables.node_costs.items():
+        keep = {
+            name: cost
+            for name, cost in costs.items()
+            if tables.primitive_workspace(layer, name) <= cap_bytes
+        }
+        if not keep:
+            return None
+        gated[layer] = keep
+    return dataclasses.replace(tables, node_costs=gated)
+
+
+def _scalarized_tables(
+    context: SelectionContext, weights: Tuple[float, float, float]
+):
+    """Tables whose node and edge costs are normalized weighted sums."""
+    tables = context.tables
+    w_time, w_mem, w_energy = weights
+    time_scale = max(
+        (cost for costs in tables.node_costs.values() for cost in costs.values()),
+        default=1.0,
+    )
+    mem_scale = max(
+        (
+            tables.primitive_workspace(layer, name)
+            for layer, costs in tables.node_costs.items()
+            for name in costs
+        ),
+        default=1.0,
+    )
+    energy_scale = max(
+        (
+            tables.primitive_energy(layer, name)
+            for layer, costs in tables.node_costs.items()
+            for name in costs
+        ),
+        default=1.0,
+    )
+    time_scale = time_scale or 1.0
+    mem_scale = mem_scale or 1.0
+    energy_scale = energy_scale or 1.0
+
+    def scal(weight: float, value: float, scale: float) -> float:
+        # 0 * inf is NaN; an objective with zero weight contributes nothing.
+        return 0.0 if weight == 0.0 else weight * value / scale
+
+    node_costs = {
+        layer: {
+            name: (
+                scal(w_time, cost, time_scale)
+                + scal(w_mem, tables.primitive_workspace(layer, name), mem_scale)
+                + scal(w_energy, tables.primitive_energy(layer, name), energy_scale)
+            )
+            for name, cost in costs.items()
+        }
+        for layer, costs in tables.node_costs.items()
+    }
+    dt_costs = {}
+    for shape, pairs in tables.dt_costs.items():
+        scaled = {}
+        for pair, cost in pairs.items():
+            if cost == float("inf"):
+                # No conversion chain: illegal under every weighting.
+                scaled[pair] = float("inf")
+            else:
+                energy = tables.dt_energy.get(shape, {}).get(pair, 0.0)
+                scaled[pair] = scal(w_time, cost, time_scale) + scal(
+                    w_energy, energy, energy_scale
+                )
+        dt_costs[shape] = scaled
+    return dataclasses.replace(tables, node_costs=node_costs, dt_costs=dt_costs)
+
+
+def workspace_levels(context: SelectionContext) -> List[float]:
+    """The feasible peak-workspace caps, lowest first.
+
+    The floor is the lowest achievable peak (every layer takes its smallest-
+    workspace primitive); levels are the distinct per-primitive workspace
+    values at or above it — exactly the caps at which the gated PBQP instance
+    changes.
+    """
+    tables = context.tables
+    floor = max(
+        min(
+            tables.primitive_workspace(layer, name) for name in costs
+        )
+        for layer, costs in tables.node_costs.items()
+    )
+    distinct = {
+        tables.primitive_workspace(layer, name)
+        for layer, costs in tables.node_costs.items()
+        for name in costs
+    }
+    return sorted({floor} | {value for value in distinct if value >= floor})
+
+
+def solve_under_workspace_cap(
+    context: SelectionContext, cap_bytes: float
+) -> Optional[NetworkPlan]:
+    """The fastest plan whose peak workspace stays at or under ``cap_bytes``.
+
+    One epsilon-constraint solve: primitives above the per-layer cap are
+    pruned and PBQP runs on the gated tables (exact, because peak workspace
+    is a max over layers).  Returns ``None`` when the cap is infeasible —
+    some layer has no primitive that fits.
+    """
+    gated = _workspace_gated_tables(context, cap_bytes)
+    if gated is None:
+        return None
+    modified = dataclasses.replace(context, tables=gated)
+    return _solve_with_tables(context, modified, f"cap:{int(cap_bytes)}")
+
+
+def _plan_signature(plan: NetworkPlan) -> tuple:
+    """A plan's decision identity: every layer's primitive or adopted layout."""
+    return tuple(
+        (name, decision.primitive or decision.output_layout.name)
+        for name, decision in sorted(plan.layer_decisions.items())
+    )
+
+
+def build_frontier(
+    context: SelectionContext,
+    constraints: Optional[Dict[str, float]] = None,
+    seed: int = 0,
+    budget_steps: int = DEFAULT_BUDGET_STEPS,
+    scalarization_weights: Sequence[Tuple[float, float, float]] = SCALARIZATION_WEIGHTS,
+) -> Frontier:
+    """Build the Pareto frontier of whole-network plans for one context.
+
+    ``constraints`` (``{objective}_max`` keys) additionally direct the
+    epsilon-constraint generator at the given workspace budget, so the
+    frontier always contains the best plan *under* the budget when one
+    exists; decisions (:meth:`Frontier.min_time_under`) then apply the bounds
+    strictly.
+    """
+    constraints = dict(constraints or {})
+    # Validate constraint keys up front (same convention as CostVector).
+    CostVector().satisfies(constraints)
+    started = time.perf_counter()
+
+    candidates: List[Tuple[NetworkPlan, str]] = []
+
+    # 1. Seed strategies, the scalar PBQP plan first.
+    strategies = applicable_strategies(context, include_frameworks=False)
+    strategies.sort(key=lambda strategy: (strategy.name != "pbqp"))
+    for strategy in strategies:
+        candidates.append((strategy.build_plan(context), f"strategy:{strategy.name}"))
+
+    # 2. Epsilon-constraint sweep over peak-workspace caps.
+    levels = workspace_levels(context)
+    caps: List[float] = []
+    if budget_steps > 0 and levels:
+        if len(levels) <= budget_steps:
+            caps = list(levels)
+        else:
+            step = (len(levels) - 1) / (budget_steps - 1)
+            caps = sorted({levels[round(i * step)] for i in range(budget_steps)})
+    budget = constraints.get("peak_workspace_bytes_max")
+    if budget is not None:
+        caps.append(float(budget))
+    for cap in caps:
+        gated = _workspace_gated_tables(context, cap)
+        if gated is None:
+            continue
+        modified = dataclasses.replace(context, tables=gated)
+        plan = _solve_with_tables(context, modified, f"cap:{int(cap)}")
+        if plan is not None:
+            candidates.append((plan, f"cap:{int(cap)}"))
+
+    # 3. Weighted scalarization solves.
+    for weights in scalarization_weights:
+        label = "weights:" + "/".join(f"{w:g}" for w in weights)
+        modified = dataclasses.replace(
+            context, tables=_scalarized_tables(context, weights)
+        )
+        plan = _solve_with_tables(context, modified, label)
+        if plan is not None:
+            candidates.append((plan, label))
+
+    # Deduplicate by decision signature (first generator wins) and evaluate
+    # every surviving candidate exactly.
+    seen: Dict[tuple, int] = {}
+    unique: List[FrontierPoint] = []
+    for plan, generator in candidates:
+        signature = _plan_signature(plan)
+        if signature in seen:
+            continue
+        seen[signature] = len(unique)
+        unique.append(
+            FrontierPoint(plan=plan, vector=plan.cost_vector(), generator=generator)
+        )
+
+    front_indices = _pareto_front([point.vector for point in unique])
+    points = [unique[i] for i in front_indices]
+    points.sort(key=lambda point: point.vector.as_tuple())
+
+    return Frontier(
+        network_name=context.network.name,
+        platform_name=context.platform_name,
+        threads=context.threads,
+        batch=context.batch,
+        seed=seed,
+        points=points,
+        constraints=constraints,
+        candidates_evaluated=len(unique),
+        dominated_count=len(unique) - len(points),
+        solve_seconds=time.perf_counter() - started,
+    )

@@ -257,15 +257,29 @@ class Winograd2DPrimitive(_WinogradBase):
                     :, th * m_tile : th * m_tile + n, tw * m_tile : tw * m_tile + n
                 ]
 
-        # Transform: V = BT @ d @ BT^T ; U = G @ g @ G^T.
-        v = np.einsum("ij,cxyjk,lk->cxyil", bt, tiles, bt, optimize=True)
+        # Transform: V = BT @ d @ BT^T ; U = G @ g @ G^T.  The transforms run
+        # one two-operand product at a time and every stage buffer is released
+        # as soon as the next is built, so the live scratch stays at the
+        # transformed input and output tile sets, as workspace_elements models.
+        half = np.einsum("ij,cxyjk->cxyik", bt, tiles)
+        del tiles
+        v = np.einsum("cxyik,lk->cxyil", half, bt)
+        del half
         u = np.einsum("ij,mcjk,lk->mcil", g, kernel.astype(np.float64, copy=False), g, optimize=True)
 
-        # Elementwise product summed over channels: (M, tiles_h, tiles_w, n, n).
-        prod = np.einsum("mcil,cxyil->mxyil", u, v, optimize=True)
+        # Elementwise product summed over channels: (M, tiles_h, tiles_w, n, n),
+        # accumulated per transformed-domain position to avoid broadcast copies.
+        prod = np.empty((scenario.m, tiles_h, tiles_w, n, n), dtype=np.float64)
+        for i in range(n):
+            for l in range(n):
+                prod[:, :, :, i, l] = np.tensordot(u[:, :, i, l], v[:, :, :, i, l], axes=1)
+        del v
 
         # Inverse transform: Y = AT @ M @ AT^T, shape (M, tiles_h, tiles_w, m, m).
-        y = np.einsum("pi,mxyil,ql->mxypq", at, prod, at, optimize=True)
+        half = np.einsum("pi,mxyil->mxypl", at, prod)
+        del prod
+        y = np.einsum("mxypl,ql->mxypq", half, at)
+        del half
 
         # Scatter tiles back into the output plane and crop.
         out_full = np.zeros((scenario.m, tiles_h * m_tile, tiles_w * m_tile), dtype=np.float64)
@@ -301,6 +315,12 @@ class Winograd1DPrimitive(_WinogradBase):
             vector_factor,
             excluded_features=("simt",),
         )
+        #: When set, :meth:`_compute` takes the row-streamed path whose live
+        #: scratch matches :meth:`workspace_elements` (one row of transformed
+        #: tiles plus one row of output partials).  The default vectorized
+        #: path computes the identical result but trades memory for numpy
+        #: efficiency by materializing every row's tiles at once.
+        self.streaming = False
 
     def traits(self) -> PrimitiveTraits:
         return PrimitiveTraits(
@@ -352,6 +372,8 @@ class Winograd1DPrimitive(_WinogradBase):
         return float((c + scenario.m // scenario.groups) * n)
 
     def _compute(self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario) -> np.ndarray:
+        if self.streaming:
+            return self._compute_streamed(x_chw, kernel, scenario)
         at, g, bt = winograd_matrices(self.tile, self.kernel_size)
         m_tile, n = self.tile, self.tile_input
         r = self.kernel_size
@@ -381,4 +403,43 @@ class Winograd1DPrimitive(_WinogradBase):
             prod = np.einsum("mci,chti->mhti", u_rows[kh], v, optimize=True)
             y = np.einsum("pi,mhti->mhtp", at, prod, optimize=True)
             out += y.reshape(scenario.m, out_h, tiles_w * m_tile)[:, :, :out_w]
+        return out
+
+    def _compute_streamed(
+        self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario
+    ) -> np.ndarray:
+        """The memory-faithful row-streamed form of the 1D algorithm.
+
+        Processes one output row at a time, so the live scratch is exactly
+        what :meth:`workspace_elements` models: one row of transformed input
+        tiles, one row of output partials and the transformed kernel rows.
+        Numerically identical to the vectorized :meth:`_compute` path.
+        """
+        at, g, bt = winograd_matrices(self.tile, self.kernel_size)
+        m_tile, n = self.tile, self.tile_input
+        r = self.kernel_size
+        out_h, out_w = scenario.out_h, scenario.out_w
+        tiles_w = self._tiles_w(scenario)
+
+        pad_w = (tiles_w - 1) * m_tile + n - scenario.w
+        x64 = np.pad(
+            x_chw.astype(np.float64, copy=False),
+            ((0, 0), (0, 0), (0, max(pad_w, 0))),
+            mode="constant",
+        )
+        kernel64 = kernel.astype(np.float64, copy=False)
+        u_rows = np.einsum("ij,mckj->kmci", g, kernel64, optimize=True)
+
+        out = np.empty((scenario.m, out_h, out_w), dtype=np.float64)
+        gathered = np.empty((scenario.c, tiles_w, n), dtype=np.float64)
+        for h in range(out_h):
+            acc = np.zeros((scenario.m, tiles_w, m_tile), dtype=np.float64)
+            for kh in range(r):
+                row = x64[:, h + kh, :]
+                for tw in range(tiles_w):
+                    gathered[:, tw, :] = row[:, tw * m_tile : tw * m_tile + n]
+                v = np.einsum("ij,ctj->cti", bt, gathered, optimize=True)
+                prod = np.einsum("mci,cti->mti", u_rows[kh], v, optimize=True)
+                acc += np.einsum("pi,mti->mtp", at, prod, optimize=True)
+            out[:, h, :] = acc.reshape(scenario.m, tiles_w * m_tile)[:, :out_w]
         return out

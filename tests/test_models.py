@@ -152,6 +152,27 @@ class TestGoogLeNet:
         fanouts = [len(network.consumers_of(name)) for name in network.layer_names()]
         assert max(fanouts) >= 4
 
+    def test_default_build_omits_auxiliary_classifiers(self):
+        network = build_googlenet()
+        assert [layer.name for layer in network.output_layers()] == ["prob"]
+
+    def test_aux_classifiers_add_two_heads(self):
+        """Section 5 of the GoogLeNet paper: heads after inception_4a/4d."""
+        network = build_googlenet(aux_classifiers=True)
+        assert network.name == "googlenet-aux"
+        outputs = [layer.name for layer in network.output_layers()]
+        assert sorted(outputs) == ["loss1/prob", "loss2/prob", "prob"]
+        shapes = network.infer_shapes()
+        for head in ("loss1", "loss2"):
+            # 14x14 inception output -> 5x5/3 average pool -> 4x4 spatial.
+            assert shapes[f"{head}/ave_pool"][1:] == (4, 4)
+            assert shapes[f"{head}/conv"][0] == 128
+            assert shapes[f"{head}/fc"] == (1024, 1, 1)
+            assert shapes[f"{head}/prob"] == (1000, 1, 1)
+        # The aux heads hang off the module outputs without altering the trunk.
+        assert len(network.conv_layers()) == (3 + 9 * 6) + 2
+        assert shapes["prob"] == (1000, 1, 1)
+
 
 class TestResNet18:
     def test_conv_layer_count(self):

@@ -110,6 +110,33 @@ class TestPlanExecute:
         for name in tiny_network.layer_names():
             assert name in text
 
+    def test_single_output_report_heads(self, session, tiny_network):
+        report = session.run(tiny_network, "intel-haswell")
+        assert report.output_layer == "prob"
+        assert set(report.heads) == {"prob"}
+        np.testing.assert_array_equal(report.heads["prob"], report.output)
+        np.testing.assert_array_equal(report.primary_output, report.output)
+
+    def test_multi_output_report_surfaces_every_head(self, session):
+        from repro.graph.layer import ConvLayer, InputLayer, PoolLayer, ReLULayer
+        from repro.graph.network import Network
+
+        net = Network("two-heads")
+        net.add_layer(InputLayer("data", shape=(3, 12, 12)))
+        net.add_layer(ConvLayer("conv", out_channels=4, kernel=3, padding=1), ["data"])
+        net.add_layer(ReLULayer("head_a"), ["conv"])
+        net.add_layer(PoolLayer("head_b", kernel=2, stride=2), ["conv"])
+        net.validate()
+
+        report = session.run(net, "intel-haswell")
+        assert isinstance(report.output, dict)
+        assert set(report.heads) == {"head_a", "head_b"}
+        # The primary head is the last output layer in topological order.
+        assert report.output_layer == "head_b"
+        np.testing.assert_array_equal(report.primary_output, report.output["head_b"])
+        assert report.heads["head_a"].shape == (4, 12, 12)
+        assert report.heads["head_b"].shape == (4, 6, 6)
+
     def test_plan_save_and_reload_roundtrip(self, session, tiny_network, tmp_path):
         plan = session.plan(tiny_network, "intel-haswell")
         path = tmp_path / "plan.json"
