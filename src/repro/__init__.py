@@ -12,6 +12,8 @@ The package is organised by subsystem:
 * :mod:`repro.core` — the paper's contribution: PBQP-based primitive selection
   with data layout transformations, plus the baseline strategies;
 * :mod:`repro.runtime` — functional execution of selected network plans;
+* :mod:`repro.service` — the HTTP planning daemon (``repro serve``) and its
+  stdlib client;
 * :mod:`repro.experiments` — harnesses regenerating every figure and table.
 
 Quickstart (see README.md for the full walkthrough)
@@ -31,7 +33,7 @@ timing.  The PR-1 :class:`~repro.api.Engine` facade and the original one-shot
 :func:`repro.core.select_primitives` remain available.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro.graph import ConvScenario, Network
 from repro.models import build_model
@@ -63,6 +65,8 @@ __all__ = [
     "select_primitives",
     "PLATFORMS",
     "default_primitive_library",
+    "PlannerApp",
+    "PlannerClient",
 ]
 
 #: Names resolved lazily from repro.api (avoids import cycles at package load).
@@ -107,4 +111,8 @@ def __getattr__(name):
         from repro.primitives import default_primitive_library
 
         return default_primitive_library
+    if name in ("PlannerApp", "PlannerClient"):
+        import repro.service
+
+        return getattr(repro.service, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

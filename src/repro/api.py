@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -555,6 +556,12 @@ class Session:
         self._contexts: Dict[Tuple[str, str, int, int], SelectionContext] = {}
         self._networks: Dict[str, Network] = {}
         self._stats = _CacheState()
+        # The session is shared by every thread of the planning service, so
+        # the memoization dictionaries live behind one lock, with a per-key
+        # build lock so concurrent misses on the *same* key perform exactly
+        # one table build (other keys keep building in parallel).
+        self._lock = threading.Lock()
+        self._build_locks: Dict[Tuple[str, str, int, int], threading.Lock] = {}
 
     # -- cache plumbing ---------------------------------------------------------
 
@@ -583,13 +590,19 @@ class Session:
         """Resolve a model name or network into (fingerprint, network)."""
         if isinstance(model, Network):
             fingerprint = network_fingerprint(model)
-            self._networks.setdefault(fingerprint, model)
-            return fingerprint, self._networks[fingerprint]
+            with self._lock:
+                return fingerprint, self._networks.setdefault(fingerprint, model)
         # Zoo builders are deterministic, so the name is the fingerprint and
         # the built graph can be shared across thread counts and platforms.
-        if model not in self._networks:
-            self._networks[model] = build_model(model)
-        return model, self._networks[model]
+        # Two threads racing here may both build; setdefault keeps exactly
+        # one, so every caller shares the same Network object.
+        with self._lock:
+            network = self._networks.get(model)
+        if network is None:
+            built = build_model(model)
+            with self._lock:
+                network = self._networks.setdefault(model, built)
+        return model, network
 
     def _query(
         self,
@@ -642,6 +655,34 @@ class Session:
             context.single_thread_tables_factory = lambda: self.provider.tables(single)
         return context
 
+    def _ensure_context(
+        self, key: Tuple[str, str, int, int], builder_args: Tuple
+    ) -> Tuple[SelectionContext, bool]:
+        """Memoized-or-built context for ``key``, built at most once.
+
+        Double-checked: the global lock guards the dictionaries, a per-key
+        lock serializes builders of the same key (a thread that waited on the
+        build lock finds the context and counts a hit — one table build per
+        key no matter how many threads raced for it).
+        """
+        with self._lock:
+            context = self._contexts.get(key)
+            if context is not None:
+                self._stats.hits += 1
+                return context, True
+            build_lock = self._build_locks.setdefault(key, threading.Lock())
+        with build_lock:
+            with self._lock:
+                context = self._contexts.get(key)
+                if context is not None:
+                    self._stats.hits += 1
+                    return context, True
+            context = self._build_context(*builder_args)
+            with self._lock:
+                self._stats.misses += 1
+                self._contexts[key] = context
+            return context, False
+
     def _lookup(
         self, model: ModelLike, platform: PlatformLike, threads: int, batch: int = 1
     ) -> Tuple[str, SelectionContext, bool]:
@@ -651,16 +692,10 @@ class Session:
         resolved, platform_name = self._resolve_platform(platform)
         fingerprint, network = self._resolve_network(model)
         key = (fingerprint, platform_name, threads, batch)
-        context = self._contexts.get(key)
-        if context is None:
-            self._stats.misses += 1
-            context = self._build_context(
-                fingerprint, network, resolved, platform_name, threads, batch
-            )
-            self._contexts[key] = context
-            return fingerprint, context, False
-        self._stats.hits += 1
-        return fingerprint, context, True
+        context, hit = self._ensure_context(
+            key, (fingerprint, network, resolved, platform_name, threads, batch)
+        )
+        return fingerprint, context, hit
 
     def context_for(
         self, model: ModelLike, platform: PlatformLike, threads: int = 1, batch: int = 1
@@ -670,11 +705,12 @@ class Session:
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss counters and the number of cached contexts."""
-        return CacheInfo(
-            hits=self._stats.hits,
-            misses=self._stats.misses,
-            contexts=len(self._contexts),
-        )
+        with self._lock:
+            return CacheInfo(
+                hits=self._stats.hits,
+                misses=self._stats.misses,
+                contexts=len(self._contexts),
+            )
 
     def clear_cache(self) -> None:
         """Drop every cached context and reset the statistics.
@@ -682,9 +718,11 @@ class Session:
         The persistent store (if any) is untouched; use
         :meth:`CostStore.clear` to delete on-disk entries.
         """
-        self._contexts.clear()
-        self._networks.clear()
-        self._stats = _CacheState()
+        with self._lock:
+            self._contexts.clear()
+            self._networks.clear()
+            self._build_locks.clear()
+            self._stats = _CacheState()
 
     # -- selection API ----------------------------------------------------------
 
@@ -891,7 +929,9 @@ class Session:
             resolved, platform_name = self._resolve_platform(request.platform)
             fingerprint, network = self._resolve_network(request.model)
             key = (fingerprint, platform_name, request.threads, request.batch)
-            if key not in self._contexts and key not in pending:
+            with self._lock:
+                cached = key in self._contexts
+            if not cached and key not in pending:
                 pending[key] = (
                     fingerprint,
                     network,
@@ -900,19 +940,19 @@ class Session:
                     request.threads,
                     request.batch,
                 )
+        # _ensure_context dedups per key, so a request mix that races with
+        # other session users still performs one build per distinct context.
         if len(pending) == 1 or max_workers == 1:
             for key, args in pending.items():
-                self._stats.misses += 1
-                self._contexts[key] = self._build_context(*args)
+                self._ensure_context(key, args)
         elif pending:
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                futures = {
-                    key: pool.submit(self._build_context, *args)
+                futures = [
+                    pool.submit(self._ensure_context, key, args)
                     for key, args in pending.items()
-                }
-            for key, future in futures.items():
-                self._stats.misses += 1
-                self._contexts[key] = future.result()
+                ]
+            for future in futures:
+                future.result()
         return [
             self.select(
                 request.model,

@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Nine subcommands cover the workflows a downstream user needs:
+Ten subcommands cover the workflows a downstream user needs:
 
 * ``repro select``  — run one selection strategy for a zoo model on a modelled
   platform (default: the paper's PBQP pipeline) and print (or save) the plan;
@@ -10,7 +10,10 @@ Nine subcommands cover the workflows a downstream user needs:
   network/platform/thread-count, ranked by total cost with speedups;
 * ``repro frontier`` — build the multi-objective Pareto frontier (time, peak
   workspace, energy proxy) and print it with a workspace-budget sweep;
-* ``repro cache``   — inspect or clear a persistent cost-table store;
+* ``repro cache``   — inspect, evict from, or clear a persistent cost-table
+  store;
+* ``repro serve``   — run the planning daemon (``POST /v1/plan`` et al.) over
+  a shared thread-safe session, optionally pre-warming the zoo grid;
 * ``repro figures`` — regenerate the full set of whole-network figures;
 * ``repro tables``  — regenerate the absolute-time tables (Tables 2 and 3);
 * ``repro platforms`` — list every registered platform with its calibration
@@ -233,13 +236,67 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cache = subparsers.add_parser(
-        "cache", help="inspect or clear a persistent cost-table store"
+        "cache", help="inspect, evict from, or clear a persistent cost-table store"
     )
     cache.add_argument(
         "--cache-dir", required=True, help="the store directory to inspect"
     )
     cache.add_argument(
         "--clear", action="store_true", help="delete every entry in the store"
+    )
+    cache.add_argument(
+        "--evict",
+        action="store_true",
+        help="remove stale-format, stale-platform-version and (with --ttl-hours) "
+        "expired entries",
+    )
+    cache.add_argument(
+        "--ttl-hours",
+        type=float,
+        default=None,
+        help="with --evict: also remove entries older than this many hours",
+    )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the HTTP planning daemon over a shared session"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=8735, help="bind port (default: 8735; 0 = ephemeral)"
+    )
+    _add_cache_dir_argument(serve)
+    serve.add_argument(
+        "--warm",
+        choices=("zoo",),
+        default=None,
+        help="pre-warm the model-zoo x platform grid in the background",
+    )
+    serve.add_argument(
+        "--warm-models",
+        nargs="+",
+        metavar="MODEL",
+        default=None,
+        help="restrict warming to these zoo models (default: the whole zoo)",
+    )
+    serve.add_argument(
+        "--warm-batches",
+        nargs="+",
+        type=int,
+        metavar="N",
+        default=[1],
+        help="minibatch sizes to warm (default: 1)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="executor draining the warming queue (default: thread)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="warming pool width (default: the executor's own default)",
     )
 
     figures = subparsers.add_parser(
@@ -448,8 +505,22 @@ def _command_cache(args: argparse.Namespace) -> int:
         removed = store.clear()
         print(f"removed {removed} cost-table entr{'y' if removed == 1 else 'ies'}")
         return 0
+    if args.evict:
+        ttl = None if args.ttl_hours is None else args.ttl_hours * 3600.0
+        report = store.evict(ttl_seconds=ttl)
+        print(
+            f"evicted {report.removed} entr{'y' if report.removed == 1 else 'ies'} "
+            f"(stale format: {report.stale_format}, stale platform: "
+            f"{report.stale_platform}, expired: {report.expired})"
+        )
+        return 0
     entries = store.entries()
-    print(f"cost store at {store.cache_dir} — {len(entries)} entr{'y' if len(entries) == 1 else 'ies'}")
+    stats = store.stats()
+    print(
+        f"cost store at {store.cache_dir} — {len(entries)} "
+        f"entr{'y' if len(entries) == 1 else 'ies'}, "
+        f"{stats.bytes_on_disk / 1024:.1f} KiB on disk"
+    )
     for entry in entries:
         key = entry.key
         print(
@@ -458,6 +529,24 @@ def _command_cache(args: argparse.Namespace) -> int:
             f"{entry.size_bytes / 1024:8.1f} KiB"
         )
     return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the service pulls in the HTTP stack and the endpoint
+    # registry, which no other subcommand needs.
+    from repro.service import PlannerApp, serve
+
+    app = PlannerApp(
+        cache_dir=args.cache_dir,
+        warm_executor=args.executor,
+        warm_workers=args.workers,
+    )
+    if args.warm == "zoo" or args.warm_models:
+        enqueued = app.start_warming(
+            models=args.warm_models, batches=tuple(args.warm_batches)
+        )
+        print(f"warming {enqueued} grid combinations in the background ({args.executor})")
+    return serve(app, host=args.host, port=args.port)
 
 
 def _command_platforms(args: argparse.Namespace) -> int:
@@ -538,6 +627,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _command_compare,
         "frontier": _command_frontier,
         "cache": _command_cache,
+        "serve": _command_serve,
         "figures": _command_figures,
         "tables": _command_tables,
         "platforms": _command_platforms,

@@ -24,12 +24,13 @@ import hashlib
 import json
 import re
 import tempfile
+import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import List, Optional, Union
 
 from repro.cost.model import CostModel
-from repro.cost.platform import Platform, platform_version
+from repro.cost.platform import PLATFORMS, Platform, platform_version
 from repro.cost.provider import AnalyticalCostProvider, CostProvider, CostQuery
 from repro.cost.serialize import cost_tables_from_dict, cost_tables_to_dict
 from repro.cost.tables import CostTables
@@ -121,11 +122,38 @@ class StoreEntry:
 
 @dataclass(frozen=True)
 class StoreStats:
-    """Hit/miss counters of one store instance plus the on-disk entry count."""
+    """Hit/miss/eviction counters of one store instance plus the disk state.
+
+    ``hits``/``misses``/``evictions`` describe *this instance's* activity;
+    ``entries`` and ``bytes_on_disk`` describe the directory as it stands
+    (shared with any other process pointed at it).  ``repro cache`` and the
+    service's ``/v1/metrics`` both render exactly these numbers.
+    """
 
     hits: int
     misses: int
     entries: int
+    evictions: int = 0
+    bytes_on_disk: int = 0
+
+
+@dataclass(frozen=True)
+class EvictionReport:
+    """What one :meth:`CostStore.evict` pass removed, by reason."""
+
+    #: Entries whose on-disk format tag is not the current one (or that do
+    #: not parse at all): version-based eviction.
+    stale_format: int = 0
+    #: Entries whose recorded ``platform_version`` no longer matches the
+    #: currently registered platform of the same name — the platform's
+    #: modelled parameters changed, so the tables can never be served again.
+    stale_platform: int = 0
+    #: Entries older than the TTL (by file modification time).
+    expired: int = 0
+
+    @property
+    def removed(self) -> int:
+        return self.stale_format + self.stale_platform + self.expired
 
 
 def _slug(text: str) -> str:
@@ -153,6 +181,7 @@ class CostStore:
         self.provider = provider if provider is not None else AnalyticalCostProvider()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     # -- CostProvider interface ---------------------------------------------------
 
@@ -208,10 +237,20 @@ class CostStore:
             ),
         )
 
+    def shard_for(self, key: StoreKey) -> Path:
+        """The per-platform shard subdirectory one key lives in.
+
+        Namespacing the cache by platform keeps one platform's churn (a
+        parameter edit, a registry version bump) physically contained, makes
+        ``repro cache`` output scannable, and lets deployments mount or sync
+        shards independently.
+        """
+        return self.cache_dir / (_slug(key.platform) or "default")
+
     def path_for(self, key: StoreKey) -> Path:
         """The JSON file one key is stored at (readable prefix + key digest)."""
         prefix = f"{_slug(key.fingerprint)}_{_slug(key.platform)}_{key.threads}t_b{key.batch}"
-        return self.cache_dir / f"{prefix}_{key.digest()}.json"
+        return self.shard_for(key) / f"{prefix}_{key.digest()}.json"
 
     def contains(self, query: CostQuery) -> bool:
         """Whether the store already holds tables for a query."""
@@ -220,8 +259,15 @@ class CostStore:
     # -- management ---------------------------------------------------------------
 
     def _entry_files(self) -> List[Path]:
-        """Every ``*.json`` file in the cache directory, parseable or not."""
-        return sorted(self.cache_dir.glob("*.json"))
+        """Every ``*.json`` file in the cache directory, parseable or not.
+
+        Covers both the per-platform shard subdirectories and legacy flat
+        entries written before sharding (which simply miss and are cleaned by
+        :meth:`clear` / :meth:`evict` like any other stale file).
+        """
+        return sorted(
+            list(self.cache_dir.glob("*.json")) + list(self.cache_dir.glob("*/*.json"))
+        )
 
     def entries(self) -> List[StoreEntry]:
         """Every well-formed entry currently in the cache directory."""
@@ -256,19 +302,93 @@ class CostStore:
         for path in self._entry_files():
             path.unlink(missing_ok=True)
             removed += 1
-        for leftover in self.cache_dir.glob(".*.tmp"):
-            leftover.unlink(missing_ok=True)
+        for pattern in (".*.tmp", "*/.*.tmp"):
+            for leftover in self.cache_dir.glob(pattern):
+                leftover.unlink(missing_ok=True)
+        for shard in self.cache_dir.iterdir():
+            if shard.is_dir() and not any(shard.iterdir()):
+                shard.rmdir()
         return removed
 
-    def stats(self) -> StoreStats:
-        """This instance's hit/miss counters and the on-disk file count.
+    def evict(
+        self,
+        ttl_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> EvictionReport:
+        """Remove entries that can (or should) never be served again.
 
-        Counts ``*.json`` files directly instead of JSON-parsing every entry
-        (the old behaviour, which both undercounted after format bumps and
-        read the whole directory just to produce a number).
+        Two mandatory criteria plus one optional:
+
+        * *version-based*: files that do not parse, or whose format tag is
+          not the current :data:`STORE_ENTRY_FORMAT` — a format bump already
+          makes :meth:`tables` skip them, this reclaims the disk;
+        * *stale platform*: entries whose recorded ``platform_version``
+          differs from the version of the **currently registered** platform
+          of the same name (its modelled parameters changed, so the key can
+          never match again; entries for unregistered platforms are kept —
+          the owning registration may simply not be loaded right now);
+        * *TTL*: with ``ttl_seconds``, entries whose file modification time
+          is older than the TTL (the shared-tier hygiene bound for a
+          long-running service).
+
+        Removed entries count into :meth:`stats`' ``evictions``.
         """
+        reference = time.time() if now is None else now
+        stale_format = stale_platform = expired = 0
+        for path in self._entry_files():
+            try:
+                document = json.loads(path.read_text())
+                current = document.get("format") == STORE_ENTRY_FORMAT
+            except (OSError, json.JSONDecodeError):
+                document, current = {}, False
+            if not current:
+                path.unlink(missing_ok=True)
+                stale_format += 1
+                continue
+            key = document.get("key", {})
+            platform_name = key.get("platform", "")
+            recorded = key.get("platform_version", "")
+            registered = PLATFORMS.get(platform_name)
+            if recorded and registered is not None:
+                if platform_version(registered) != recorded:
+                    path.unlink(missing_ok=True)
+                    stale_platform += 1
+                    continue
+            if ttl_seconds is not None:
+                try:
+                    age = reference - path.stat().st_mtime
+                except OSError:
+                    continue
+                if age > ttl_seconds:
+                    path.unlink(missing_ok=True)
+                    expired += 1
+        report = EvictionReport(
+            stale_format=stale_format, stale_platform=stale_platform, expired=expired
+        )
+        self._evictions += report.removed
+        return report
+
+    def stats(self) -> StoreStats:
+        """This instance's hit/miss/eviction counters and the disk state.
+
+        Counts ``*.json`` files (and sums their sizes) directly instead of
+        JSON-parsing every entry (the old behaviour, which both undercounted
+        after format bumps and read the whole directory just to produce a
+        number).
+        """
+        files = self._entry_files()
+        bytes_on_disk = 0
+        for path in files:
+            try:
+                bytes_on_disk += path.stat().st_size
+            except OSError:
+                pass
         return StoreStats(
-            hits=self._hits, misses=self._misses, entries=len(self._entry_files())
+            hits=self._hits,
+            misses=self._misses,
+            entries=len(files),
+            evictions=self._evictions,
+            bytes_on_disk=bytes_on_disk,
         )
 
     # -- plumbing -----------------------------------------------------------------
@@ -283,9 +403,12 @@ class CostStore:
         # The temp name must be unique per *call*, not per process: two
         # threads (e.g. select_many workers) writing the same key would
         # interleave on a shared pid-suffixed file and rename a torn document.
+        # The temp file lives in the target's shard so the rename stays atomic
+        # (same filesystem, same directory).
+        path.parent.mkdir(parents=True, exist_ok=True)
         with tempfile.NamedTemporaryFile(
             "w",
-            dir=self.cache_dir,
+            dir=path.parent,
             prefix=f".{path.stem}-",
             suffix=".tmp",
             delete=False,

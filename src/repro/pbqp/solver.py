@@ -20,6 +20,7 @@ irreducible core is empty or tiny, so the same holds here.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -35,6 +36,25 @@ from repro.pbqp.reductions import (
     apply_rn,
 )
 from repro.pbqp.solution import PBQPSolution
+
+# Process-wide solve accounting.  The planning service's /v1/metrics surfaces
+# this to prove its warm path performs *zero* solves (a warm daemon serving
+# cached plans holds the counter flat); a plain module global with a lock is
+# enough because solves are counted, never reset, and read rarely.
+_SOLVE_COUNT_LOCK = threading.Lock()
+_SOLVE_COUNT = 0
+
+
+def solve_count() -> int:
+    """Total number of PBQP solves performed by this process (thread-safe)."""
+    with _SOLVE_COUNT_LOCK:
+        return _SOLVE_COUNT
+
+
+def _count_solve() -> None:
+    global _SOLVE_COUNT
+    with _SOLVE_COUNT_LOCK:
+        _SOLVE_COUNT += 1
 
 
 @dataclass
@@ -75,6 +95,7 @@ class PBQPSolver:
 
     def solve(self, graph: PBQPGraph) -> PBQPSolution:
         """Solve a PBQP instance; the input graph is not modified."""
+        _count_solve()
         stats = SolverStats()
         start = time.perf_counter()
         work = graph.copy()

@@ -1,0 +1,54 @@
+"""Planner-as-a-service: a concurrent HTTP/JSON planning daemon over :class:`~repro.api.Session`.
+
+The paper frames primitive selection as an offline solve; this subsystem is
+the serving layer a production deployment needs on top of it — a long-running
+daemon where plan requests are answered from warm state (the in-process plan
+cache backed by the sharded :class:`~repro.cost.store.CostStore` tier) so
+that a warm request's latency is dominated by a store/cache read, not a PBQP
+solve.  Everything is standard library only: :class:`http.server.ThreadingHTTPServer`
+on the wire, :mod:`json` payloads, and :mod:`concurrent.futures` executors
+for background warming.
+
+Layout (the ``api/services`` + ``api/workers`` split the ROADMAP cites):
+
+* :mod:`repro.service.app`      — the application object, request routing and
+  schema validation (errors as structured JSON), and the HTTP server glue;
+* :mod:`repro.service.handlers` — one handler per endpoint, published through
+  the :func:`~repro.service.handlers.register_endpoint` decorator registry;
+* :mod:`repro.service.workers`  — the background warming queue drained by a
+  pluggable serial/thread/process executor;
+* :mod:`repro.service.metrics`  — thread-safe counters and latency
+  histograms surfaced at ``GET /v1/metrics``;
+* :mod:`repro.service.client`   — the stdlib HTTP client used by tests,
+  examples and CI.
+
+Endpoints: ``POST /v1/plan``, ``POST /v1/compare``, ``POST /v1/frontier``,
+``GET /v1/platforms``, ``GET /v1/healthz``, ``GET /v1/metrics``.  Start a
+daemon with ``repro serve`` (optionally ``--warm zoo`` to pre-populate the
+whole zoo x platform x batch grid in the background), or in-process:
+
+>>> from repro.service import PlannerApp, make_server           # doctest: +SKIP
+>>> server = make_server(PlannerApp(cache_dir="repro-cache"))   # doctest: +SKIP
+>>> server.serve_forever()                                      # doctest: +SKIP
+"""
+
+from repro.service.app import PlannerApp, make_server, serve
+from repro.service.client import PlannerClient, ServiceError
+from repro.service.handlers import ENDPOINTS, register_endpoint
+from repro.service.metrics import Metrics
+from repro.service.workers import WarmJob, WarmingQueue, executor, grid_jobs
+
+__all__ = [
+    "PlannerApp",
+    "make_server",
+    "serve",
+    "PlannerClient",
+    "ServiceError",
+    "ENDPOINTS",
+    "register_endpoint",
+    "Metrics",
+    "WarmJob",
+    "WarmingQueue",
+    "executor",
+    "grid_jobs",
+]

@@ -1,0 +1,449 @@
+"""End-to-end tests for the planning daemon (repro.service).
+
+A real ThreadingHTTPServer is booted once per module on an ephemeral port;
+every test talks to it through :class:`PlannerClient` — the same stdlib HTTP
+path production clients use.  The invariants under test are the service's
+contract: responses are valid JSON envelopes, plans are byte-identical to
+direct :meth:`Session.plan` calls, and warm requests perform zero PBQP solves
+(proved by the process-wide solve counter, not by timing).
+"""
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import Session
+from repro.cost.serialize import plan_to_dict
+from repro.pbqp.solver import solve_count
+from repro.service import (
+    PlannerApp,
+    PlannerClient,
+    ServiceError,
+    WarmJob,
+    WarmingQueue,
+    executor,
+    grid_jobs,
+    make_server,
+)
+from repro.service.app import Field, ValidationError, validate_body
+from repro.service.metrics import LatencyHistogram, Metrics, labelled, quantile
+
+MODELS = ("alexnet", "resnet18")
+PLATFORMS_UNDER_TEST = ("intel-haswell", "arm-cortex-a57")
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    """One daemon over a store-backed session, shared by the module."""
+    cache_dir = tmp_path_factory.mktemp("service-store")
+    app = PlannerApp(cache_dir=str(cache_dir))
+    server = make_server(app)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    client = PlannerClient(*server.server_address[:2])
+    client.wait_until_ready()
+    yield app, client
+    server.shutdown()
+    server.server_close()
+    app.close()
+    thread.join(timeout=10)
+
+
+def canonical(document: dict) -> str:
+    return json.dumps(document, sort_keys=True)
+
+
+class TestEnvelopes:
+    def test_healthz_reports_registries(self, service):
+        app, client = service
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["models"] >= 9 and health["platforms"] >= 4
+        assert health["uptime_s"] >= 0
+        assert set(health["warming"]) >= {"pending", "completed", "failed"}
+
+    def test_platforms_lists_every_registered_platform(self, service):
+        from repro.cost.platform import list_platforms
+
+        _, client = service
+        names = [p["name"] for p in client.platforms()]
+        assert names == list_platforms()
+        haswell = next(p for p in client.platforms() if p["name"] == "intel-haswell")
+        assert haswell["cores"] == 4 and haswell["vector_width"] == 8
+
+    def test_metrics_shape(self, service):
+        _, client = service
+        metrics = client.metrics()
+        assert set(metrics) >= {
+            "counters",
+            "latencies_ms",
+            "pbqp_solves_total",
+            "session",
+            "store",
+            "warming",
+        }
+        assert metrics["store"] is not None  # the session wraps a CostStore
+        assert metrics["counters"]["requests_total"] >= 1
+
+
+class TestPlanEndpoint:
+    def test_plan_matches_direct_session_byte_for_byte(self, service):
+        app, client = service
+        document = client.plan("alexnet", "intel-haswell")
+        direct = app.session.plan("alexnet", "intel-haswell")
+        assert canonical(document["plan"]) == canonical(
+            plan_to_dict(direct.network_plan)
+        )
+        assert document["total_ms"] == pytest.approx(direct.total_ms)
+        assert document["model"] == "alexnet"
+        assert document["platform"] == "intel-haswell"
+
+    def test_warm_request_is_cached_and_solve_free(self, service):
+        _, client = service
+        first = client.plan("alexnet", "arm-cortex-a57")
+        before = solve_count()
+        second = client.plan("alexnet", "arm-cortex-a57")
+        assert solve_count() == before  # zero PBQP solves on the warm path
+        assert second["from_cache"] is True
+        assert canonical(first["plan"]) == canonical(second["plan"])
+
+    def test_strategy_and_batch_parameters_are_honoured(self, service):
+        app, client = service
+        document = client.plan(
+            "alexnet", "intel-haswell", strategy="im2", threads=4, batch=8
+        )
+        assert document["strategy"] == "im2"
+        assert document["batch"] == 8
+        direct = app.session.plan(
+            "alexnet", "intel-haswell", strategy="im2", threads=4, batch=8
+        )
+        assert canonical(document["plan"]) == canonical(
+            plan_to_dict(direct.network_plan)
+        )
+
+    def test_platform_gated_strategy_is_a_client_error(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.plan("alexnet", "arm-cortex-a57", strategy="mkldnn")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "strategy_not_applicable"
+
+
+class TestValidation:
+    def test_all_problems_reported_in_one_response(self, service):
+        _, client = service
+        status, payload = client.request(
+            "POST", "/v1/plan", {"platform": "not-a-platform", "batch": 0, "bogus": 1}
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "validation_error"
+        fields = sorted(d["field"] for d in payload["error"]["details"])
+        assert fields == ["batch", "bogus", "model", "platform"]
+
+    def test_unknown_choice_lists_valid_names(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.plan("not-a-model", "intel-haswell")
+        detail = excinfo.value.details[0]
+        assert detail["field"] == "model" and "alexnet" in detail["message"]
+
+    def test_bool_is_not_an_integer(self, service):
+        _, client = service
+        status, payload = client.request(
+            "POST",
+            "/v1/plan",
+            {"model": "alexnet", "platform": "intel-haswell", "batch": True},
+        )
+        assert status == 400
+        assert payload["error"]["details"][0]["field"] == "batch"
+
+    def test_non_json_body_is_a_structured_400(self, service):
+        import http.client
+
+        _, client = service
+        connection = http.client.HTTPConnection(client.host, client.port, timeout=30)
+        try:
+            connection.request(
+                "POST",
+                "/v1/plan",
+                body=b"this is not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert payload["error"]["code"] == "invalid_json"
+
+    def test_unknown_path_is_404_listing_known_endpoints(self, service):
+        _, client = service
+        status, payload = client.request("GET", "/v1/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+        assert "/v1/plan" in payload["error"]["message"]
+
+    def test_wrong_method_is_405_listing_allowed(self, service):
+        _, client = service
+        status, payload = client.request("DELETE", "/v1/plan")
+        assert status == 405
+        assert payload["error"]["code"] == "method_not_allowed"
+        assert payload["error"]["allowed"] == ["POST"]
+
+    def test_validate_body_rejects_non_object(self):
+        with pytest.raises(ValidationError):
+            validate_body([1, 2], (Field("x"),))
+
+
+class TestCompareAndFrontier:
+    def test_compare_matches_direct_session(self, service):
+        app, client = service
+        document = client.compare("alexnet", "intel-haswell")
+        report = app.session.compare("alexnet", "intel-haswell")
+        assert document["best"] == report.best.strategy == "pbqp"
+        rows = {r["strategy"]: r["total_ms"] for r in document["results"]}
+        for strategy, total_ms, _ in report.rows():
+            assert rows[strategy] == pytest.approx(total_ms)
+
+    def test_compare_rejects_unknown_strategy(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.compare("alexnet", "intel-haswell", strategies=["nope"])
+        assert excinfo.value.code == "unknown_strategy"
+
+    def test_frontier_matches_direct_session(self, service):
+        app, client = service
+        document = client.frontier("alexnet", "intel-haswell", budget_steps=2)
+        frontier = app.session.plan_frontier(
+            "alexnet", "intel-haswell", budget_steps=2
+        )
+        assert len(document["points"]) == len(frontier.points)
+        served = {canonical(p["vector"]) for p in document["points"]}
+        direct = {canonical(p.vector.to_dict()) for p in frontier.points}
+        assert served == direct
+
+    def test_frontier_rejects_bad_constraints(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.frontier(
+                "alexnet", "intel-haswell", constraints={"nonsense_max": 1.0}
+            )
+        assert excinfo.value.code == "invalid_constraints"
+
+    def test_frontier_include_plans_embeds_full_document(self, service):
+        _, client = service
+        document = client.frontier(
+            "alexnet", "intel-haswell", budget_steps=2, include_plans=True
+        )
+        assert "frontier" in document
+        assert len(document["frontier"]["points"]) == len(document["points"])
+
+
+class TestConcurrency:
+    def test_concurrent_mixed_requests_are_correct_and_solve_free(self, service):
+        """The acceptance gate: a warm mixed grid served concurrently.
+
+        Every combination is warmed first, then hit concurrently many times:
+        all responses must be 200, byte-identical to the direct session plan,
+        and the whole barrage must perform zero PBQP solves.
+        """
+        app, client = service
+        grid = [
+            (model, platform, batch)
+            for model in MODELS
+            for platform in PLATFORMS_UNDER_TEST
+            for batch in (1, 4)
+        ]
+        expected = {}
+        for model, platform, batch in grid:
+            client.plan(model, platform, batch=batch)  # warm the document
+            direct = app.session.plan(model, platform, batch=batch)
+            expected[(model, platform, batch)] = canonical(
+                plan_to_dict(direct.network_plan)
+            )
+
+        requests = [grid[i % len(grid)] for i in range(100)]
+        before = solve_count()
+        with ThreadPoolExecutor(max_workers=16) as pool:
+            documents = list(
+                pool.map(lambda spec: client.plan(spec[0], spec[1], batch=spec[2]), requests)
+            )
+        assert solve_count() == before  # zero solves across 100 warm requests
+        for spec, document in zip(requests, documents):
+            assert document["from_cache"] is True
+            assert canonical(document["plan"]) == expected[spec]
+
+    def test_cold_stampede_builds_each_document_once(self, tmp_path):
+        """Same-key concurrent cold requests: one build, identical answers."""
+        app = PlannerApp(cache_dir=str(tmp_path))
+        server = make_server(app)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        client = PlannerClient(*server.server_address[:2])
+        try:
+            client.wait_until_ready()
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                documents = list(
+                    pool.map(
+                        lambda _: client.plan("alexnet", "intel-haswell"), range(8)
+                    )
+                )
+            bodies = {canonical(d["plan"]) for d in documents}
+            assert len(bodies) == 1
+            counters = client.metrics()["counters"]
+            assert counters["plan_cache_misses"] == 1
+            assert counters["plan_cache_hits"] == 7
+        finally:
+            server.shutdown()
+            server.server_close()
+            app.close()
+
+
+class TestWarming:
+    def test_background_warming_makes_requests_solve_free(self, tmp_path):
+        app = PlannerApp(cache_dir=str(tmp_path))
+        try:
+            enqueued = app.start_warming(
+                models=["alexnet"], platforms=list(PLATFORMS_UNDER_TEST)
+            )
+            assert enqueued == 2
+            assert app.warming.join(timeout=300)
+            state = app.warming.state()
+            assert state["completed"] == 2 and state["failed"] == 0
+            before = solve_count()
+            document, cached = app.plan_document("alexnet", "intel-haswell")
+            assert cached is True and solve_count() == before
+        finally:
+            app.close()
+
+    def test_failed_jobs_are_counted_not_fatal(self):
+        metrics = Metrics()
+        calls = []
+
+        def run(job):
+            calls.append(job)
+            if job.model == "bad":
+                raise RuntimeError("boom")
+
+        queue = WarmingQueue(run, metrics=metrics, kind="serial")
+        try:
+            queue.enqueue([WarmJob("good", "intel-haswell"), WarmJob("bad", "intel-haswell")])
+            assert queue.join(timeout=30)
+            state = queue.state()
+            assert state["completed"] == 1 and state["failed"] == 1
+            counters = metrics.snapshot()["counters"]
+            assert counters["warm_jobs_completed"] == 1
+            assert counters["warm_jobs_failed"] == 1
+        finally:
+            queue.stop()
+
+    def test_grid_jobs_covers_the_full_product(self):
+        from repro.cost.platform import list_platforms
+        from repro.models import MODEL_BUILDERS
+
+        jobs = grid_jobs(batches=(1, 4))
+        assert len(jobs) == len(MODEL_BUILDERS) * len(list_platforms()) * 2
+        jobs = grid_jobs(models=["alexnet"], platforms=["gpu-sim"])
+        assert jobs == [WarmJob("alexnet", "gpu-sim")]
+
+    def test_executor_kinds(self):
+        with executor("serial") as pool:
+            assert pool.submit(lambda: 21 * 2).result() == 42
+        with executor("thread", max_workers=2) as pool:
+            assert pool.submit(lambda: 21 * 2).result() == 42
+        with pytest.raises(ValueError, match="unknown executor kind"):
+            with executor("quantum"):
+                pass
+
+    def test_serial_executor_captures_exceptions(self):
+        with executor("serial") as pool:
+            future = pool.submit(lambda: 1 / 0)
+        assert isinstance(future.exception(), ZeroDivisionError)
+
+    def test_process_executor_warms_a_store(self, tmp_path):
+        from repro.cost.store import CostStore
+        from repro.service.workers import warm_store_entry
+
+        with executor("process", max_workers=2) as pool:
+            future = pool.submit(
+                warm_store_entry, str(tmp_path), "alexnet", "intel-haswell"
+            )
+            assert future.result(timeout=300) == "alexnet@intel-haswell/1t/b1"
+        # The worker process persisted the tables into the shared store tier.
+        store = CostStore(tmp_path)
+        assert store.stats().entries == 1
+
+
+class TestMetricsUnit:
+    def test_labelled_is_stable(self):
+        assert labelled("requests", endpoint="POST /v1/plan", status=200) == (
+            'requests{endpoint="POST /v1/plan",status="200"}'
+        )
+
+    def test_quantile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 4.0
+        assert quantile(values, 0.5) == pytest.approx(2.5)
+
+    def test_histogram_snapshot(self):
+        histogram = LatencyHistogram(window=8)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 4
+        assert snapshot["mean_ms"] == pytest.approx(2.5)
+        assert snapshot["max_ms"] == 4.0
+        assert snapshot["p50_ms"] == pytest.approx(2.5)
+
+    def test_metrics_time_context(self):
+        metrics = Metrics()
+        with metrics.time("op_ms"):
+            pass
+        snapshot = metrics.snapshot()
+        assert snapshot["latencies_ms"]["op_ms"]["count"] == 1
+
+    def test_request_latencies_recorded(self, service):
+        _, client = service
+        client.plan("alexnet", "intel-haswell")
+        latencies = client.metrics()["latencies_ms"]
+        key = 'request_latency{endpoint="POST /v1/plan"}'
+        assert latencies[key]["count"] >= 1
+        assert latencies[key]["p99_ms"] >= latencies[key]["p50_ms"] >= 0
+
+
+class TestRegistry:
+    def test_duplicate_endpoint_is_rejected(self):
+        from repro.service.handlers import register_endpoint
+
+        with pytest.raises(ValueError, match="duplicate endpoint"):
+
+            @register_endpoint("GET", "/v1/healthz")
+            def clashing(app, params):  # pragma: no cover - never called
+                return {}
+
+    def test_every_endpoint_has_a_description(self, service):
+        app, _ = service
+        for endpoint in app.endpoints.values():
+            assert endpoint.description
+
+
+class TestStoreIntegration:
+    def test_fresh_daemon_over_warm_store_skips_profiling(self, service, tmp_path):
+        """The shared disk tier: a new daemon reuses persisted cost tables."""
+        app, client = service
+        client.plan("alexnet", "intel-haswell")  # ensure the store is warm
+        store_dir = app.session.store.cache_dir
+        fresh = Session(cache_dir=store_dir)
+        fresh.plan("alexnet", "intel-haswell")
+        assert fresh.store.stats().hits >= 1
+        assert fresh.store.stats().misses == 0
+
+    def test_store_entries_land_in_platform_shards(self, service):
+        app, client = service
+        for platform in PLATFORMS_UNDER_TEST:  # self-sufficient under -k filters
+            client.plan("alexnet", platform)
+        store = app.session.store
+        shards = {entry.path.parent.name for entry in store.entries()}
+        assert shards >= set(PLATFORMS_UNDER_TEST)

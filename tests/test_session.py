@@ -545,3 +545,146 @@ class TestSessionCLI:
         assert code == 2
         err = capsys.readouterr().err
         assert "saved for network 'alexnet'" in err and "vgg-a" in err
+
+
+class TestConcurrentSession:
+    def test_concurrent_plan_builds_tables_once(self, session, counting_builds):
+        """Regression: two threads planning the same key build one table set.
+
+        The context memoization used to be a bare dict: two simultaneous
+        first requests both missed and both profiled.  With the per-key build
+        locks exactly one thread builds while the other waits for the result.
+        """
+        import threading
+
+        barrier = threading.Barrier(2)
+        plans, errors = [], []
+
+        def worker():
+            try:
+                barrier.wait(timeout=30)
+                plans.append(session.plan("alexnet", "intel-haswell"))
+            except Exception as exc:  # pragma: no cover - failure diagnostics
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        assert len(plans) == 2
+        assert len(counting_builds) == 1  # exactly one profiling pass
+        info = session.cache_info()
+        assert info.misses == 1 and info.contexts == 1
+        assert (
+            plans[0].network_plan.conv_selections()
+            == plans[1].network_plan.conv_selections()
+        )
+
+    def test_concurrent_distinct_keys_build_independently(self, session, counting_builds):
+        import threading
+
+        platforms = ["intel-haswell", "arm-cortex-a57"]
+        threads = [
+            threading.Thread(target=session.plan, args=("alexnet", platform))
+            for platform in platforms
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert len(counting_builds) == 2
+        assert session.cache_info().contexts == 2
+
+
+class TestStoreEviction:
+    @pytest.fixture
+    def warm_store(self, library, dt_graph, tiny_network, tmp_path):
+        session = Session(library=library, dt_graph=dt_graph, cache_dir=tmp_path)
+        session.select(tiny_network, "intel-haswell")
+        session.select(tiny_network, "arm-cortex-a57")
+        return session.store
+
+    def test_entries_are_sharded_by_platform(self, warm_store):
+        shards = {entry.path.parent.name for entry in warm_store.entries()}
+        assert shards == {"intel-haswell", "arm-cortex-a57"}
+
+    def test_evict_noop_on_current_entries(self, warm_store):
+        report = warm_store.evict()
+        assert report.removed == 0
+        assert len(warm_store.entries()) == 2
+        assert warm_store.stats().evictions == 0
+
+    def test_evict_removes_stale_format(self, warm_store, tmp_path):
+        entry = warm_store.entries()[0]
+        document = json.loads(entry.path.read_text())
+        document["format"] = "repro/cost-store-entry/v1"
+        entry.path.write_text(json.dumps(document))
+        (tmp_path / "junk.json").write_text("{not json")
+
+        report = warm_store.evict()
+        assert report.stale_format == 2 and report.removed == 2
+        assert len(warm_store.entries()) == 1
+        assert warm_store.stats().evictions == 2
+
+    def test_evict_removes_stale_platform_version(self, warm_store):
+        entry = warm_store.entries()[0]
+        document = json.loads(entry.path.read_text())
+        document["key"]["platform_version"] = "v0:deadbeef"
+        entry.path.write_text(json.dumps(document))
+
+        report = warm_store.evict()
+        assert report.stale_platform == 1 and report.removed == 1
+        assert len(warm_store.entries()) == 1
+
+    def test_evict_keeps_unregistered_platforms(self, warm_store):
+        # An entry for a platform nobody has registered in this process may
+        # belong to another deployment sharing the store; TTL-less eviction
+        # must keep it.
+        entry = warm_store.entries()[0]
+        document = json.loads(entry.path.read_text())
+        document["key"]["platform"] = "somebody-elses-board"
+        entry.path.write_text(json.dumps(document))
+        report = warm_store.evict()
+        assert report.removed == 0
+
+    def test_evict_ttl_by_mtime(self, warm_store):
+        import time as time_module
+
+        now = time_module.time()
+        report = warm_store.evict(ttl_seconds=3600.0, now=now + 7200.0)
+        assert report.expired == 2 and report.removed == 2
+        assert warm_store.stats().entries == 0
+        assert warm_store.stats().evictions == 2
+
+    def test_stats_reports_bytes_on_disk(self, warm_store):
+        stats = warm_store.stats()
+        assert stats.entries == 2
+        expected = sum(entry.size_bytes for entry in warm_store.entries())
+        assert stats.bytes_on_disk == expected > 0
+
+    def test_cli_cache_evict(self, warm_store, capsys):
+        from repro.cli import main
+
+        entry = warm_store.entries()[0]
+        document = json.loads(entry.path.read_text())
+        document["format"] = "stale"
+        entry.path.write_text(json.dumps(document))
+        assert main(["cache", "--cache-dir", str(warm_store.cache_dir), "--evict"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 1 entry" in out and "stale format: 1" in out
+        assert (
+            main(
+                [
+                    "cache",
+                    "--cache-dir",
+                    str(warm_store.cache_dir),
+                    "--evict",
+                    "--ttl-hours",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        assert "expired: 1" in capsys.readouterr().out
