@@ -84,17 +84,21 @@ def emit(text: str) -> None:
 _RECORDS: Dict[str, Dict[str, float]] = {}
 
 
-def record_metric(benchmark: str, metric: str, value: float) -> None:
+def record_metric(benchmark: str, metric: str, value: float, dtype: str = "fp32") -> None:
     """Record one scalar for the ``BENCH_<benchmark>.json`` trajectory file.
 
     ``benchmark`` is a short slug (``"engine_cache"``, ``"frontier"``);
     ``metric`` names the measurement, with its unit as a suffix
-    (``"warm_select_ms"``, ``"speedup_x"``).  Each call updates the file on
+    (``"warm_select_ms"``, ``"speedup_x"``).  ``dtype`` is the precision
+    dimension: non-fp32 measurements are keyed ``<metric>@<dtype>`` so the
+    fp32 history stays comparable across commits while the quantized runs
+    land beside it in the same trajectory.  Each call updates the file on
     disk immediately (pytest imports conftest plugins under their own module
     names, so a session-finish hook could see different module state than
     the benchmarks that imported :func:`record_metric`).
     """
-    _RECORDS.setdefault(benchmark, {})[metric] = float(value)
+    key = metric if dtype == "fp32" else f"{metric}@{dtype}"
+    _RECORDS.setdefault(benchmark, {})[key] = float(value)
     _flush(benchmark)
 
 

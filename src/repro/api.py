@@ -50,6 +50,7 @@ from repro.cost.serialize import load_plan, plan_from_dict, plan_to_dict, save_p
 from repro.cost.store import CostStore
 from repro.graph.layer import InputLayer
 from repro.graph.network import Network
+from repro.graph.scenario import DTYPES
 from repro.layouts.dt_graph import DTGraph
 from repro.layouts.transforms import default_transform_library
 from repro.models import build_model
@@ -83,13 +84,14 @@ def network_fingerprint(network: Network) -> str:
 
 @dataclass(frozen=True)
 class SelectionRequest:
-    """One (model, platform, strategy, threads, batch) combination for :meth:`Session.select_many`."""
+    """One (model, platform, strategy, threads, batch, dtype) combination for :meth:`Session.select_many`."""
 
     model: ModelLike
     platform: PlatformLike
     strategy: str = "pbqp"
     threads: int = 1
     batch: int = 1
+    dtype: str = "fp32"
 
 
 @dataclass
@@ -105,6 +107,8 @@ class SelectionResult:
     from_cache: bool = False
     #: Minibatch size the selection was priced for.
     batch: int = 1
+    #: Numeric precision the selection was priced for.
+    dtype: str = "fp32"
 
     @property
     def total_ms(self) -> float:
@@ -128,6 +132,7 @@ class SelectionResult:
             "platform": self.platform,
             "threads": self.threads,
             "batch": self.batch,
+            "dtype": self.dtype,
             "strategy": self.strategy,
             "plan": plan_to_dict(self.plan),
         }
@@ -145,6 +150,7 @@ class SelectionResult:
             plan=plan_from_dict(document["plan"], dt_graph),
             from_cache=False,
             batch=int(document.get("batch", 1)),
+            dtype=str(document.get("dtype", "fp32")),
         )
 
 
@@ -466,6 +472,8 @@ class ComparisonReport:
     results: List[SelectionResult]
     #: Minibatch size every compared selection was priced for.
     batch: int = 1
+    #: Numeric precision every compared selection was priced for.
+    dtype: str = "fp32"
 
     def __iter__(self):
         return iter(self.results)
@@ -490,9 +498,10 @@ class ComparisonReport:
         """Render the ranked comparison table."""
         plural = "s" if self.threads != 1 else ""
         batch = f", batch {self.batch}" if self.batch != 1 else ""
+        dtype = f", {self.dtype}" if self.dtype != "fp32" else ""
         title = title or (
             f"Strategy comparison — {self.model} on {self.platform}, "
-            f"{self.threads} thread{plural}{batch}"
+            f"{self.threads} thread{plural}{batch}{dtype}"
         )
         header = f"{'strategy':<20}{'total ms':>12}{'speedup':>10}"
         lines = [title, header, "-" * len(header)]
@@ -553,7 +562,7 @@ class Session:
         if cache_dir is not None and not isinstance(resolved, CostStore):
             resolved = CostStore(cache_dir, resolved)
         self.provider: CostProvider = resolved
-        self._contexts: Dict[Tuple[str, str, int, int], SelectionContext] = {}
+        self._contexts: Dict[Tuple[str, str, int, int, str], SelectionContext] = {}
         self._networks: Dict[str, Network] = {}
         self._stats = _CacheState()
         # The session is shared by every thread of the planning service, so
@@ -561,7 +570,7 @@ class Session:
         # build lock so concurrent misses on the *same* key perform exactly
         # one table build (other keys keep building in parallel).
         self._lock = threading.Lock()
-        self._build_locks: Dict[Tuple[str, str, int, int], threading.Lock] = {}
+        self._build_locks: Dict[Tuple[str, str, int, int, str], threading.Lock] = {}
 
     # -- cache plumbing ---------------------------------------------------------
 
@@ -612,6 +621,7 @@ class Session:
         platform_name: str,
         threads: int,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> CostQuery:
         return CostQuery(
             network=network,
@@ -622,6 +632,7 @@ class Session:
             library=self.library,
             dt_graph=self.dt_graph,
             batch=batch,
+            dtype=dtype,
         )
 
     def _build_context(
@@ -632,9 +643,12 @@ class Session:
         platform_name: str,
         threads: int,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> SelectionContext:
         """Build a selection context with tables from the cost provider."""
-        query = self._query(fingerprint, network, platform, platform_name, threads, batch)
+        query = self._query(
+            fingerprint, network, platform, platform_name, threads, batch, dtype
+        )
         tables = self.provider.tables(query)
         context = SelectionContext(
             network=network,
@@ -646,6 +660,7 @@ class Session:
             tables=tables,
             platform=platform,
             batch=batch,
+            dtype=dtype,
         )
         if threads != 1:
             # Framework emulations lazily need single-threaded tables; route
@@ -656,7 +671,7 @@ class Session:
         return context
 
     def _ensure_context(
-        self, key: Tuple[str, str, int, int], builder_args: Tuple
+        self, key: Tuple[str, str, int, int, str], builder_args: Tuple
     ) -> Tuple[SelectionContext, bool]:
         """Memoized-or-built context for ``key``, built at most once.
 
@@ -684,24 +699,36 @@ class Session:
             return context, False
 
     def _lookup(
-        self, model: ModelLike, platform: PlatformLike, threads: int, batch: int = 1
+        self,
+        model: ModelLike,
+        platform: PlatformLike,
+        threads: int,
+        batch: int = 1,
+        dtype: str = "fp32",
     ) -> Tuple[str, SelectionContext, bool]:
         """Resolve a query to (fingerprint, memoized context, was-cache-hit)."""
         if batch < 1:
             raise ValueError("batch must be >= 1")
+        if dtype not in DTYPES:
+            raise ValueError(f"unknown dtype {dtype!r}; expected one of {DTYPES}")
         resolved, platform_name = self._resolve_platform(platform)
         fingerprint, network = self._resolve_network(model)
-        key = (fingerprint, platform_name, threads, batch)
+        key = (fingerprint, platform_name, threads, batch, dtype)
         context, hit = self._ensure_context(
-            key, (fingerprint, network, resolved, platform_name, threads, batch)
+            key, (fingerprint, network, resolved, platform_name, threads, batch, dtype)
         )
         return fingerprint, context, hit
 
     def context_for(
-        self, model: ModelLike, platform: PlatformLike, threads: int = 1, batch: int = 1
+        self,
+        model: ModelLike,
+        platform: PlatformLike,
+        threads: int = 1,
+        batch: int = 1,
+        dtype: str = "fp32",
     ) -> SelectionContext:
-        """The memoized profiled context for one (model, platform, threads, batch)."""
-        return self._lookup(model, platform, threads, batch)[1]
+        """The memoized profiled context for one (model, platform, threads, batch, dtype)."""
+        return self._lookup(model, platform, threads, batch, dtype)[1]
 
     def cache_info(self) -> CacheInfo:
         """Hit/miss counters and the number of cached contexts."""
@@ -733,8 +760,9 @@ class Session:
         strategy: str = "pbqp",
         threads: int = 1,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> SelectionResult:
-        """Run one strategy for one (model, platform, threads, batch) combination.
+        """Run one strategy for one (model, platform, threads, batch, dtype) combination.
 
         Raises
         ------
@@ -743,7 +771,9 @@ class Session:
             gate rejects the context's platform (e.g. ``mkldnn`` on ARM).
         """
         chosen = get_strategy(strategy)
-        fingerprint, context, from_cache = self._lookup(model, platform, threads, batch)
+        fingerprint, context, from_cache = self._lookup(
+            model, platform, threads, batch, dtype
+        )
         if not chosen.applies_to(context):
             raise ValueError(
                 f"strategy {chosen.name!r} does not apply to platform "
@@ -757,6 +787,7 @@ class Session:
             plan=chosen.build_plan(context),
             from_cache=from_cache,
             batch=batch,
+            dtype=dtype,
         )
 
     def plan(
@@ -766,9 +797,12 @@ class Session:
         strategy: str = "pbqp",
         threads: int = 1,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> Plan:
         """Select and return an executable :class:`Plan` handle."""
-        result = self.select(model, platform, strategy=strategy, threads=threads, batch=batch)
+        result = self.select(
+            model, platform, strategy=strategy, threads=threads, batch=batch, dtype=dtype
+        )
         _, network = self._resolve_network(model)
         return Plan(
             result=result,
@@ -784,16 +818,20 @@ class Session:
         strategy: str = "pbqp",
         threads: int = 1,
         batch: int = 1,
+        dtype: str = "fp32",
         input: Optional[np.ndarray] = None,
         seed: int = 0,
     ) -> ExecutionReport:
         """One-shot plan-and-execute: select, run a forward pass, and report.
 
         With ``batch > 1`` the selection is priced for that minibatch size
-        and the forward pass runs on an ``(N, C, H, W)`` input.
+        and the forward pass runs on an ``(N, C, H, W)`` input.  With a
+        quantized ``dtype`` the selection is priced (and gated) at that
+        precision and the executor runs the primitives through their
+        quantized compute paths.
         """
         return self.plan(
-            model, platform, strategy=strategy, threads=threads, batch=batch
+            model, platform, strategy=strategy, threads=threads, batch=batch, dtype=dtype
         ).execute(input=input, seed=seed)
 
     def plan_frontier(
@@ -805,20 +843,39 @@ class Session:
         constraints: Optional[Dict[str, float]] = None,
         seed: int = 0,
         budget_steps: int = DEFAULT_BUDGET_STEPS,
+        dtypes: Optional[Sequence[str]] = None,
     ) -> Frontier:
         """Build the multi-objective Pareto frontier of whole-network plans.
 
         Reuses the memoized profiled context (the frontier's many PBQP
         solves share one set of cost tables), so a warm session pays no
         re-profiling.  ``constraints`` takes ``{objective}_max`` keys over
-        ``time_ms`` / ``peak_workspace_bytes`` / ``energy_proxy_j``; a
-        workspace bound additionally directs an epsilon-constraint solve at
-        exactly that budget.  The result is deterministic — byte-identical
-        serialization for a fixed ``seed``.
+        ``time_ms`` / ``peak_workspace_bytes`` / ``energy_proxy_j`` /
+        ``accuracy_proxy``; a workspace bound additionally directs an
+        epsilon-constraint solve at exactly that budget.
+
+        ``dtypes`` names the precisions competing on the front (default: all
+        of :data:`~repro.graph.scenario.DTYPES`).  The first entry is the
+        base context; every other precision contributes its own PBQP plan,
+        so accuracy-vs-speed becomes a genuine front axis — pass
+        ``("fp32",)`` for the pre-precision single-dtype behaviour.  The
+        result is deterministic — byte-identical serialization for a fixed
+        ``seed``.
         """
-        context = self.context_for(model, platform, threads, batch)
+        chosen = tuple(dtypes) if dtypes is not None else DTYPES
+        if not chosen:
+            raise ValueError("dtypes must name at least one precision")
+        context = self.context_for(model, platform, threads, batch, chosen[0])
+        dtype_contexts = {
+            dtype: self.context_for(model, platform, threads, batch, dtype)
+            for dtype in chosen[1:]
+        }
         return build_frontier(
-            context, constraints=constraints, seed=seed, budget_steps=budget_steps
+            context,
+            constraints=constraints,
+            seed=seed,
+            budget_steps=budget_steps,
+            dtype_contexts=dtype_contexts or None,
         )
 
     def plan_from_file(
@@ -845,6 +902,7 @@ class Session:
             plan=network_plan,
             from_cache=False,
             batch=network_plan.batch,
+            dtype=network_plan.dtype,
         )
         return Plan(
             result=result,
@@ -861,10 +919,11 @@ class Session:
         strategies: Optional[Sequence[str]],
         include_frameworks: bool,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> List[SelectionResult]:
         """Select with every applicable strategy (or a named subset), in
         registration order, against one shared profiled context."""
-        context = self.context_for(model, platform, threads, batch)
+        context = self.context_for(model, platform, threads, batch, dtype)
         if strategies is None:
             chosen: List[Strategy] = applicable_strategies(
                 context, include_frameworks=include_frameworks
@@ -872,7 +931,14 @@ class Session:
         else:
             chosen = [get_strategy(name) for name in strategies]
         return [
-            self.select(model, platform, strategy=strategy.name, threads=threads, batch=batch)
+            self.select(
+                model,
+                platform,
+                strategy=strategy.name,
+                threads=threads,
+                batch=batch,
+                dtype=dtype,
+            )
             for strategy in chosen
         ]
 
@@ -884,26 +950,28 @@ class Session:
         strategies: Optional[Sequence[str]] = None,
         include_frameworks: bool = True,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> ComparisonReport:
         """Evaluate every applicable strategy (or a named subset), ranked.
 
         All strategies share one profiled context, so the whole sweep pays
         for profiling exactly once; the returned report is sorted by total
         cost and carries speedups over the common single-threaded SUM2D
-        baseline (priced at the same batch, so speedups compare like with
-        like).
+        baseline (priced at the same batch and dtype, so speedups compare
+        like with like).
         """
         results = self._select_all(
-            model, platform, threads, strategies, include_frameworks, batch
+            model, platform, threads, strategies, include_frameworks, batch, dtype
         )
-        baseline = self.baseline(model, platform, batch=batch)
+        baseline = self.baseline(model, platform, batch=batch, dtype=dtype)
         return ComparisonReport(
             model=baseline.model,
-            platform=self.context_for(model, platform, threads, batch).platform_name,
+            platform=self.context_for(model, platform, threads, batch, dtype).platform_name,
             threads=threads,
             baseline=baseline,
             results=sorted(results, key=lambda result: result.total_ms),
             batch=batch,
+            dtype=dtype,
         )
 
     def select_many(
@@ -924,11 +992,17 @@ class Session:
             request if isinstance(request, SelectionRequest) else SelectionRequest(*request)
             for request in requests
         ]
-        pending: Dict[Tuple[str, str, int, int], Tuple] = {}
+        pending: Dict[Tuple[str, str, int, int, str], Tuple] = {}
         for request in normalized:
             resolved, platform_name = self._resolve_platform(request.platform)
             fingerprint, network = self._resolve_network(request.model)
-            key = (fingerprint, platform_name, request.threads, request.batch)
+            key = (
+                fingerprint,
+                platform_name,
+                request.threads,
+                request.batch,
+                request.dtype,
+            )
             with self._lock:
                 cached = key in self._contexts
             if not cached and key not in pending:
@@ -939,6 +1013,7 @@ class Session:
                     platform_name,
                     request.threads,
                     request.batch,
+                    request.dtype,
                 )
         # _ensure_context dedups per key, so a request mix that races with
         # other session users still performs one build per distinct context.
@@ -960,16 +1035,21 @@ class Session:
                 strategy=request.strategy,
                 threads=request.threads,
                 batch=request.batch,
+                dtype=request.dtype,
             )
             for request in normalized
         ]
 
     def baseline(
-        self, model: ModelLike, platform: PlatformLike, batch: int = 1
+        self,
+        model: ModelLike,
+        platform: PlatformLike,
+        batch: int = 1,
+        dtype: str = "fp32",
     ) -> SelectionResult:
-        """The common speedup baseline: single-threaded SUM2D (at ``batch``)."""
+        """The common speedup baseline: single-threaded SUM2D (at ``batch``/``dtype``)."""
         return self.select(
-            model, platform, strategy=BASELINE_STRATEGY, threads=1, batch=batch
+            model, platform, strategy=BASELINE_STRATEGY, threads=1, batch=batch, dtype=dtype
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

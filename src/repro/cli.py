@@ -41,6 +41,7 @@ from typing import Optional, Sequence
 from repro.api import Session
 from repro.core.strategies import STRATEGIES, registered_names
 from repro.cost.platform import PLATFORMS, get_platform, list_platforms
+from repro.graph.scenario import DTYPES
 from repro.cost.store import CostStore
 from repro.experiments.tables import format_absolute_table, run_absolute_time_table
 from repro.experiments.whole_network import (
@@ -117,6 +118,16 @@ def _add_batch_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_dtype_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dtype",
+        choices=DTYPES,
+        default="fp32",
+        help="numeric precision to price and execute (default: fp32, the "
+        "paper's setting)",
+    )
+
+
 def _add_cache_dir_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
@@ -138,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_argument(select)
     _add_threads_argument(select)
     _add_batch_argument(select)
+    _add_dtype_argument(select)
     _add_cache_dir_argument(select)
     select.add_argument(
         "--strategy",
@@ -161,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_argument(run)
     _add_threads_argument(run)
     _add_batch_argument(run)
+    _add_dtype_argument(run)
     _add_cache_dir_argument(run)
     run.add_argument(
         "--strategy",
@@ -184,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_platform_argument(compare)
     _add_threads_argument(compare)
     _add_batch_argument(compare)
+    _add_dtype_argument(compare)
     _add_cache_dir_argument(compare)
 
     frontier = subparsers.add_parser(
@@ -279,6 +293,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict warming to these zoo models (default: the whole zoo)",
     )
     serve.add_argument(
+        "--warm-dtypes",
+        nargs="+",
+        choices=DTYPES,
+        default=["fp32"],
+        metavar="DTYPE",
+        help="precisions to warm (default: fp32)",
+    )
+    serve.add_argument(
         "--warm-batches",
         nargs="+",
         type=int,
@@ -343,6 +365,7 @@ def _command_select(args: argparse.Namespace) -> int:
             strategy=args.strategy,
             threads=args.threads,
             batch=args.batch,
+            dtype=args.dtype,
         )
     except ValueError as exc:  # e.g. a platform-gated strategy on the wrong platform
         print(f"error: {exc}", file=sys.stderr)
@@ -350,7 +373,9 @@ def _command_select(args: argparse.Namespace) -> int:
     # The speedup denominator is the paper's common baseline: *single-threaded*
     # SUM2D, matching the figures' methodology regardless of --threads (but
     # priced at the same --batch, so the ratio compares like with like).
-    baseline = session.baseline(args.model, args.platform, batch=args.batch)
+    baseline = session.baseline(
+        args.model, args.platform, batch=args.batch, dtype=args.dtype
+    )
     plan = result.plan
     print(plan.summary())
     print(
@@ -359,7 +384,7 @@ def _command_select(args: argparse.Namespace) -> int:
     )
     if args.schedule:
         network = session.context_for(
-            args.model, args.platform, args.threads, args.batch
+            args.model, args.platform, args.threads, args.batch, args.dtype
         ).network
         print()
         print(render_schedule(network, plan))
@@ -391,6 +416,7 @@ def _command_run(args: argparse.Namespace) -> int:
                 strategy=args.strategy,
                 threads=args.threads,
                 batch=args.batch,
+                dtype=args.dtype,
             )
     except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -492,7 +518,7 @@ def _command_frontier(args: argparse.Namespace) -> int:
 def _command_compare(args: argparse.Namespace) -> int:
     session = _session(args)
     report = session.compare(
-        args.model, args.platform, threads=args.threads, batch=args.batch
+        args.model, args.platform, threads=args.threads, batch=args.batch, dtype=args.dtype
     )
     print(report.format())
     print(f"best strategy: {report.best.strategy}")
@@ -525,7 +551,7 @@ def _command_cache(args: argparse.Namespace) -> int:
         key = entry.key
         print(
             f"  {key.fingerprint:<24} {key.platform:<18} {key.threads:>2} thread(s)  "
-            f"batch {key.batch:>3}  {key.provider} v{key.provider_version}  "
+            f"batch {key.batch:>3}  {key.dtype:<5} {key.provider} v{key.provider_version}  "
             f"{entry.size_bytes / 1024:8.1f} KiB"
         )
     return 0
@@ -543,7 +569,9 @@ def _command_serve(args: argparse.Namespace) -> int:
     )
     if args.warm == "zoo" or args.warm_models:
         enqueued = app.start_warming(
-            models=args.warm_models, batches=tuple(args.warm_batches)
+            models=args.warm_models,
+            batches=tuple(args.warm_batches),
+            dtypes=tuple(args.warm_dtypes),
         )
         print(f"warming {enqueued} grid combinations in the background ({args.executor})")
     return serve(app, host=args.host, port=args.port)

@@ -76,6 +76,7 @@ def finalize_plan(
                 cost=cost,
                 workspace_bytes=tables.primitive_workspace(layer.name, primitive_name),
                 energy_j=tables.primitive_energy(layer.name, primitive_name),
+                accuracy_loss=tables.primitive_accuracy(layer.name, primitive_name),
             )
         else:
             if layer.name not in wildcard_layouts:
@@ -130,6 +131,7 @@ def finalize_plan(
         layer_decisions=layer_decisions,
         edge_decisions=edge_decisions,
         batch=context.batch,
+        dtype=context.dtype,
     )
 
 

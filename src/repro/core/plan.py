@@ -38,6 +38,9 @@ class LayerDecision:
     workspace_bytes: float = 0.0
     #: Energy proxy (joules) of the selected primitive; 0 when not modelled.
     energy_j: float = 0.0
+    #: Modelled accuracy loss of running this layer at the plan's precision;
+    #: 0 for fp32 and for plans predating the precision axis.
+    accuracy_loss: float = 0.0
 
 
 @dataclass
@@ -70,6 +73,8 @@ class NetworkPlan:
     layer_decisions: Dict[str, LayerDecision] = field(default_factory=dict)
     #: Minibatch size the plan's costs describe (1 = the paper's setting).
     batch: int = 1
+    #: Numeric precision the plan selects for ("fp32" = the paper's setting).
+    dtype: str = "fp32"
     edge_decisions: List[EdgeDecision] = field(default_factory=list)
     #: Extra information recorded by the strategy (e.g. solver statistics).
     metadata: Dict[str, object] = field(default_factory=dict)
@@ -120,12 +125,22 @@ class NetworkPlan:
             e.energy_j for e in self.edge_decisions
         )
 
+    @property
+    def accuracy_proxy(self) -> float:
+        """Whole-network modelled accuracy loss (sum of per-layer losses).
+
+        Quantization noise compounds layer by layer, so losses add; a pure
+        fp32 plan reports exactly 0.
+        """
+        return sum(d.accuracy_loss for d in self.layer_decisions.values())
+
     def cost_vector(self) -> CostVector:
-        """The plan's full (time, peak workspace, energy) objective vector."""
+        """The plan's full (time, workspace, energy, accuracy) objective vector."""
         return CostVector(
             time_ms=self.total_ms,
             peak_workspace_bytes=self.peak_workspace_bytes,
             energy_proxy_j=self.energy_proxy_j,
+            accuracy_proxy=self.accuracy_proxy,
         )
 
     # -- queries --------------------------------------------------------------------
@@ -161,10 +176,11 @@ class NetworkPlan:
     def summary(self) -> str:
         """Human-readable description of the plan (selection table + cost)."""
         batch = f", batch {self.batch}" if self.batch != 1 else ""
+        dtype = f", {self.dtype}" if self.dtype != "fp32" else ""
         per_image = f", {self.per_image_ms:.2f} ms/image" if self.batch != 1 else ""
         lines = [
             f"Plan for {self.network_name!r} [{self.strategy}] on {self.platform_name} "
-            f"({self.threads} thread{'s' if self.threads != 1 else ''}{batch})",
+            f"({self.threads} thread{'s' if self.threads != 1 else ''}{batch}{dtype})",
             f"  total {self.total_ms:.2f} ms{per_image}  (conv {1e3 * self.conv_cost:.2f} ms, "
             f"layout transforms {1e3 * self.dt_cost:.2f} ms, "
             f"{len(self.conversions())} conversions)",

@@ -57,6 +57,8 @@ class SelectionContext:
     platform: Optional[Platform] = None
     #: Minibatch size the context's cost tables were priced for.
     batch: int = 1
+    #: Numeric precision the context's cost tables were priced for.
+    dtype: str = "fp32"
     _single_thread_tables: Optional[CostTables] = field(default=None, repr=False)
     #: Optional hook producing single-threaded tables (set by the Session API so
     #: the lazy rebuild below goes through its cost provider — and therefore
@@ -101,6 +103,7 @@ class SelectionContext:
                     threads=1,
                     batch=self.batch,
                     platform=self.platform,
+                    dtype=self.dtype,
                 )
         return self._single_thread_tables
 
@@ -114,13 +117,15 @@ class SelectionContext:
         dt_graph: Optional[DTGraph] = None,
         threads: int = 1,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> "SelectionContext":
         """Assemble a context, defaulting every component sensibly.
 
         Either ``platform`` (priced with the analytical model) or an explicit
         ``cost_model`` must be provided; if both are given the explicit cost
         model wins.  ``batch`` prices the whole context for minibatches of
-        that size.
+        that size, ``dtype`` at that precision (per-precision primitive
+        gating and pricing both apply).
         """
         if cost_model is None:
             if platform is None:
@@ -138,6 +143,7 @@ class SelectionContext:
             threads=threads,
             batch=batch,
             platform=platform,
+            dtype=dtype,
         )
         return cls(
             network=network,
@@ -149,6 +155,7 @@ class SelectionContext:
             tables=tables,
             platform=platform,
             batch=batch,
+            dtype=dtype,
         )
 
 
@@ -262,6 +269,7 @@ def select_primitives(
     dt_graph: Optional[DTGraph] = None,
     threads: int = 1,
     batch: int = 1,
+    dtype: str = "fp32",
 ) -> NetworkPlan:
     """One-call convenience API: profile, encode, solve and legalize.
 
@@ -275,5 +283,6 @@ def select_primitives(
         dt_graph=dt_graph,
         threads=threads,
         batch=batch,
+        dtype=dtype,
     )
     return PBQPSelector().select(context)

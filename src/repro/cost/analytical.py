@@ -34,10 +34,23 @@ from dataclasses import dataclass
 from typing import Tuple
 
 from repro.cost.platform import Platform
-from repro.graph.scenario import ConvScenario
+from repro.graph.scenario import DTYPE_ITEMSIZE, ConvScenario
 from repro.layouts.transforms import LayoutTransform
 from repro.multiobj.vector import CostVector
 from repro.primitives.base import ConvPrimitive, PrimitiveFamily
+
+#: Modelled per-layer top-1 accuracy loss (fraction) of running one
+#: convolution below fp32.  A proxy, not a measurement: the values encode the
+#: well-established ordering — fp16 is near-lossless, int8 post-training
+#: quantization costs a little per layer, and int8 *Winograd* costs several
+#: times more because the fractional tile transforms amplify quantization
+#: noise before the element-wise product.  Losses are additive across a
+#: network's layers (like the time objective), which is how the frontier gets
+#: a genuine accuracy-vs-speed axis.
+DTYPE_ACCURACY_LOSS = {"fp32": 0.0, "fp16": 2e-5, "int8": 1e-3}
+
+#: Multiplier on the int8 loss for the Winograd family (transform noise).
+WINOGRAD_INT8_PENALTY = 5.0
 
 
 @dataclass(frozen=True)
@@ -136,14 +149,18 @@ class AnalyticalCostModel:
         per_image = scenario.per_image
 
         ops = primitive.arithmetic_ops(scenario)
+        # Bytes per element at the scenario's precision: fp16/int8 halve or
+        # quarter every byte count below, which is the memory-side half of
+        # the quantization win (the lane-packing half is priced at `peak`).
+        itemsize = float(scenario.itemsize)
         # Per-image scratch footprint (buffers are reused across the batch).
-        workspace_bytes = 4.0 * primitive.workspace_elements(per_image)
+        workspace_bytes = itemsize * primitive.workspace_elements(per_image)
         # Whole-batch tensor bytes; the kernel is shared across the batch.
-        tensor_bytes = 4.0 * (
+        tensor_bytes = itemsize * (
             scenario.input_elements() + scenario.output_elements() + scenario.kernel_elements()
         )
         # Per-image tensor bytes: what the inner loops keep in flight at once.
-        tensor_bytes_image = 4.0 * (
+        tensor_bytes_image = itemsize * (
             per_image.input_elements()
             + per_image.output_elements()
             + per_image.kernel_elements()
@@ -185,6 +202,16 @@ class AnalyticalCostModel:
         peak = frequency * platform.fma_per_cycle * 2.0 * lanes * 1e9
         if not simt and primitive.vector_factor > platform.vector_width:
             peak *= params.vector_emulation_penalty
+        # Precision lane packing: the same vector registers hold 2x fp16 or
+        # 4x int8 elements, but only where the ISA has the arithmetic to
+        # exploit it (``fp16-fast`` packed-half math; ``vnni``/``dotprod``
+        # 8-bit dot products).  Plain loop nests gain nothing — the packed
+        # instructions are GEMM-kernel tools — so reduced precision pushes
+        # the selector further toward the GEMM/transform families.  Without
+        # the feature the narrow operands compute at the fp32 rate and only
+        # the memory traffic shrinks.
+        if not plain_loops:
+            peak *= self._precision_rate(scenario.dtype)
 
         # ---- utilization ------------------------------------------------------
         utilization = self._utilization(primitive, scenario)
@@ -210,7 +237,7 @@ class AnalyticalCostModel:
         # slabs); overflowing it stalls the inner loops on every pass.  SIMT
         # machines have no such private capacity cliff — tiles are staged
         # through shared memory and misses overlap with other warps.
-        inner_bytes = 4.0 * primitive.inner_working_set_elements(per_image)
+        inner_bytes = itemsize * primitive.inner_working_set_elements(per_image)
         per_core = platform.per_core_cache_bytes()
         if inner_bytes > per_core and not simt:
             utilization /= 1.0 + params.inner_cache_pressure * (inner_bytes / per_core - 1.0)
@@ -225,6 +252,7 @@ class AnalyticalCostModel:
         # cache at a time, so growing the batch scales the traffic linearly
         # without demoting the whole layer to DRAM bandwidth.
         traffic_bytes = tensor_bytes + params.workspace_traffic_weight * workspace_bytes * batch
+        traffic_bytes += self._conversion_bytes(scenario)
         footprint = tensor_bytes_image + workspace_bytes
         if footprint <= platform.per_core_cache_bytes():
             bandwidth = platform.cache_bandwidth_gbps
@@ -259,6 +287,50 @@ class AnalyticalCostModel:
         overhead_seconds += platform.launch_overhead_s * call_count
 
         return max(compute_seconds, memory_seconds) + overhead_seconds
+
+    def _precision_rate(self, dtype: str) -> float:
+        """Arithmetic-rate multiplier the platform's ISA grants a precision."""
+        platform = self.platform
+        if dtype == "fp16" and platform.has_feature("fp16-fast"):
+            return 2.0
+        if dtype == "int8" and (
+            platform.has_feature("vnni") or platform.has_feature("dotprod")
+        ):
+            return 4.0
+        return 1.0
+
+    def _conversion_bytes(self, scenario: ConvScenario) -> float:
+        """Byte traffic of the quantize/dequantize passes at a layer boundary.
+
+        The graph's interchange stays fp32, so a quantized layer reads its
+        fp32 activations once and writes the narrow form on entry, and writes
+        fp32 back on exit (weights are pre-quantized at deployment time, like
+        the pre-transformed Winograd kernels).  These are the dt-graph's
+        conversion edges extended to the precision axis: sequential streaming
+        passes, so they ride the same bandwidth tier as the tensor traffic
+        rather than the strided-transform efficiency.
+        """
+        if not scenario.is_quantized:
+            return 0.0
+        fp32_bytes = float(DTYPE_ITEMSIZE["fp32"])
+        boundary_elements = scenario.input_elements() + scenario.output_elements()
+        return (fp32_bytes + float(scenario.itemsize)) * boundary_elements
+
+    def primitive_accuracy_loss(
+        self, primitive: ConvPrimitive, scenario: ConvScenario
+    ) -> float:
+        """Modelled accuracy loss (additive top-1 fraction) of one layer.
+
+        Zero at fp32.  The Winograd family pays :data:`WINOGRAD_INT8_PENALTY`
+        times the base int8 loss: its fractional tile transforms run over the
+        quantized operands, amplifying the rounding noise (the alternative —
+        declining int8 outright — would hide a real, sometimes-worth-it
+        trade-off from the frontier).
+        """
+        loss = DTYPE_ACCURACY_LOSS[scenario.dtype]
+        if scenario.dtype == "int8" and primitive.family is PrimitiveFamily.WINOGRAD:
+            loss *= WINOGRAD_INT8_PENALTY
+        return loss
 
     def _utilization(self, primitive: ConvPrimitive, scenario: ConvScenario) -> float:
         """Fraction of peak the variant achieves, before size/cache effects."""
@@ -309,10 +381,11 @@ class AnalyticalCostModel:
         """Peak per-invocation scratch footprint of one primitive, in bytes.
 
         Per image, matching the streaming assumption of :meth:`primitive_cost`
-        (a batch reuses one image's buffers), and fp32 like the rest of the
-        model.
+        (a batch reuses one image's buffers), at the scenario's precision —
+        int8 scratch is a quarter of the fp32 footprint, one of quantized
+        inference's classic wins on memory-constrained parts.
         """
-        return 4.0 * primitive.workspace_elements(scenario.per_image)
+        return float(scenario.itemsize) * primitive.workspace_elements(scenario.per_image)
 
     def primitive_energy(
         self, primitive: ConvPrimitive, scenario: ConvScenario, threads: int = 1
@@ -327,12 +400,13 @@ class AnalyticalCostModel:
         params = self.parameters
         platform = self.platform
         per_image = scenario.per_image
+        itemsize = float(scenario.itemsize)
         ops = primitive.arithmetic_ops(scenario)
-        workspace_bytes = 4.0 * primitive.workspace_elements(per_image)
-        tensor_bytes = 4.0 * (
+        workspace_bytes = itemsize * primitive.workspace_elements(per_image)
+        tensor_bytes = itemsize * (
             scenario.input_elements() + scenario.output_elements() + scenario.kernel_elements()
         )
-        tensor_bytes_image = 4.0 * (
+        tensor_bytes_image = itemsize * (
             per_image.input_elements()
             + per_image.output_elements()
             + per_image.kernel_elements()
@@ -340,6 +414,7 @@ class AnalyticalCostModel:
         traffic_bytes = (
             tensor_bytes + params.workspace_traffic_weight * workspace_bytes * scenario.batch
         )
+        traffic_bytes += self._conversion_bytes(scenario)
         footprint = tensor_bytes_image + workspace_bytes
         if footprint <= platform.per_core_cache_bytes():
             per_byte_pj = params.energy_per_cache_byte_pj
@@ -352,11 +427,12 @@ class AnalyticalCostModel:
     def primitive_cost_vector(
         self, primitive: ConvPrimitive, scenario: ConvScenario, threads: int = 1
     ) -> CostVector:
-        """The (time, peak workspace, energy) vector of one primitive."""
+        """The (time, workspace, energy, accuracy) vector of one primitive."""
         return CostVector(
             time_ms=1e3 * self.primitive_cost(primitive, scenario, threads=threads),
             peak_workspace_bytes=self.primitive_workspace_bytes(primitive, scenario),
             energy_proxy_j=self.primitive_energy(primitive, scenario, threads=threads),
+            accuracy_proxy=self.primitive_accuracy_loss(primitive, scenario),
         )
 
     def transform_energy(
@@ -364,14 +440,16 @@ class AnalyticalCostModel:
         transform: LayoutTransform,
         shape: Tuple[int, int, int],
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> float:
         """Energy proxy (joules) of one layout transformation.
 
         Gather/scatter loops stream through memory, so every moved byte is
         charged at the DRAM rate; layout conversions contribute no scratch
         workspace beyond the destination tensor (already counted as traffic).
+        Narrow precisions move proportionally fewer bytes.
         """
-        bytes_moved = 4.0 * batch * transform.element_traffic(*shape)
+        bytes_moved = float(DTYPE_ITEMSIZE[dtype]) * batch * transform.element_traffic(*shape)
         return 1e-12 * bytes_moved * self.parameters.energy_per_dram_byte_pj
 
     # -- layout transformations -------------------------------------------------------
@@ -382,17 +460,21 @@ class AnalyticalCostModel:
         shape: Tuple[int, int, int],
         threads: int = 1,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> float:
         """Modelled execution time (seconds) of one direct layout transformation.
 
         ``shape`` is the per-image ``(C, H, W)`` shape; a batched tensor moves
         ``batch`` times the data in a single call, so the gather/scatter
         traffic scales with the batch while the dispatch cost is paid once.
+        ``dtype`` scales the moved bytes: a conversion edge between two int8
+        layouts gathers quarter-width elements, so quantized plans pay less
+        for layout churn — a second way precision shifts the selections.
         """
         if batch < 1:
             raise ValueError("batch must be >= 1")
         platform = self.platform
-        bytes_moved = 4.0 * batch * transform.element_traffic(*shape)
+        bytes_moved = float(DTYPE_ITEMSIZE[dtype]) * batch * transform.element_traffic(*shape)
         bandwidth = platform.dram_bandwidth_gbps * platform.transform_efficiency * 1e9
         seconds = bytes_moved / bandwidth
         if threads > 1:

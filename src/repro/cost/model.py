@@ -34,11 +34,14 @@ class CostModel(Protocol):
         shape: Tuple[int, int, int],
         threads: int = 1,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> float:
         """Execution time, in seconds, of one direct layout transformation.
 
         ``shape`` is the per-image ``(C, H, W)`` tensor shape; ``batch`` is
         the number of images converted in one call (the data moved scales
-        with it, per-call dispatch does not).
+        with it, per-call dispatch does not).  ``dtype`` is the element
+        precision of the converted tensor — conversions are pure data
+        movement, so narrower elements move proportionally fewer bytes.
         """
         ...

@@ -61,7 +61,18 @@ feature                meaning
                        width by the compiler, memory latency is hidden by
                        oversubscription, and every call is a kernel launch
 ``high-bandwidth``     memory system an order of magnitude above desktop DDR
+``vnni``               int8 dot-product ISA (AVX-512 VNNI): four 8-bit MACs
+                       per fp32 lane, so int8 runs at 4x the fp32 rate
+``dotprod``            8-bit dot-product instructions (ARM SDOT/UDOT,
+                       dp4a-class on devices): same 4x int8 lane packing
+``fp16-fast``          native half-precision arithmetic at twice the fp32
+                       rate (packed fp16 math units, not just storage)
 =====================  =========================================================
+
+Precision capability gating: without ``vnni``/``dotprod`` an int8 scenario
+still *runs* (the kernels exist everywhere), but its arithmetic is priced at
+the fp32 lane rate — only the memory traffic shrinks.  Likewise ``fp16-fast``
+is what turns fp16 from a storage format into a throughput win.
 """
 
 from __future__ import annotations
@@ -74,8 +85,10 @@ from typing import Callable, Dict, FrozenSet, List, Union
 #: Version of the platform registry's modelling schema.  Participates in
 #: cost-store keys (together with the per-platform parameter digest), so
 #: bumping it — or editing any platform's numbers — invalidates previously
-#: persisted cost tables instead of silently serving them.
-PLATFORM_REGISTRY_VERSION = "2"
+#: persisted cost tables instead of silently serving them.  History: "2"
+#: opened the registry (PR 5); "3" added the precision capability features
+#: (``vnni``/``dotprod``/``fp16-fast``) and dtype-aware pricing.
+PLATFORM_REGISTRY_VERSION = "3"
 
 
 @dataclass(frozen=True)
@@ -301,7 +314,10 @@ arm_cortex_a57 = register_platform(
         transform_efficiency=0.015,
         mt_bandwidth_scaling=1.4,
         framework_overhead_ms=25.0,
-        features=frozenset({"arm", "neon"}),
+        # The Cortex-A57 itself predates SDOT, but the Tegra X1 deployment
+        # target the paper models is exactly where ARM's int8 dot-product
+        # path (ACL's quantized kernels) is the production configuration.
+        features=frozenset({"arm", "neon", "dotprod"}),
     )
 )
 
@@ -329,7 +345,7 @@ avx512_server = register_platform(
         framework_overhead_ms=4.0,
         wide_vector_derating=0.85,
         features=frozenset(
-            {"x86", "avx2", "avx512", "frequency-derating", "deep-cache"}
+            {"x86", "avx2", "avx512", "frequency-derating", "deep-cache", "vnni"}
         ),
     )
 )
@@ -359,6 +375,6 @@ gpu_sim = register_platform(
         mt_bandwidth_scaling=1.0,
         framework_overhead_ms=0.2,
         launch_overhead_s=5e-6,
-        features=frozenset({"simt", "high-bandwidth"}),
+        features=frozenset({"simt", "high-bandwidth", "fp16-fast", "dotprod"}),
     )
 )

@@ -90,11 +90,16 @@ class WallClockProfiler:
         shape: Tuple[int, int, int],
         threads: int = 1,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> float:
         """Measured execution time (seconds) of one direct layout transformation.
 
         ``shape`` is the per-image shape; with ``batch > 1`` the conversion
         is measured on a batched tensor (one call moving the whole batch).
+        ``dtype`` is accepted for interface compatibility: the numpy
+        transforms are measured on fp32 tensors regardless, so the profiled
+        conversion time is a conservative (upper-bound) estimate for the
+        narrow precisions.
         """
         key = (transform.name, shape, threads, batch)
         if key in self._transform_cache:

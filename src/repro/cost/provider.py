@@ -45,9 +45,9 @@ from repro.primitives.registry import PrimitiveLibrary
 class CostQuery:
     """One request for cost tables.
 
-    ``(fingerprint, platform_name, threads, batch)`` identifies the tuple the
-    tables describe; the remaining fields carry the live components a
-    provider needs to build (or rebuild) them.
+    ``(fingerprint, platform_name, threads, batch, dtype)`` identifies the
+    tuple the tables describe; the remaining fields carry the live components
+    a provider needs to build (or rebuild) them.
     """
 
     network: Network
@@ -58,11 +58,18 @@ class CostQuery:
     library: PrimitiveLibrary
     dt_graph: DTGraph
     batch: int = 1
+    dtype: str = "fp32"
 
     @property
-    def context_key(self) -> Tuple[str, str, int, int]:
-        """The (fingerprint, platform name, threads, batch) tuple of this query."""
-        return (self.fingerprint, self.platform_name, self.threads, self.batch)
+    def context_key(self) -> Tuple[str, str, int, int, str]:
+        """The (fingerprint, platform, threads, batch, dtype) tuple of this query."""
+        return (
+            self.fingerprint,
+            self.platform_name,
+            self.threads,
+            self.batch,
+            self.dtype,
+        )
 
     def with_threads(self, threads: int) -> "CostQuery":
         """The same query at a different thread count."""
@@ -71,6 +78,10 @@ class CostQuery:
     def with_batch(self, batch: int) -> "CostQuery":
         """The same query at a different minibatch size."""
         return dataclasses.replace(self, batch=batch)
+
+    def with_dtype(self, dtype: str) -> "CostQuery":
+        """The same query at a different numeric precision."""
+        return dataclasses.replace(self, dtype=dtype)
 
 
 @runtime_checkable
@@ -125,6 +136,7 @@ class AnalyticalCostProvider:
             threads=query.threads,
             batch=query.batch,
             platform=query.platform,
+            dtype=query.dtype,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -168,6 +180,7 @@ class ProfiledCostProvider:
             self.profiler,
             threads=query.threads,
             batch=query.batch,
+            dtype=query.dtype,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial
@@ -200,6 +213,7 @@ class CostModelProvider:
             threads=query.threads,
             batch=query.batch,
             platform=query.platform,
+            dtype=query.dtype,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -26,13 +26,15 @@ from repro.layouts.transforms import TransformChain
 PathLike = Union[str, Path]
 
 #: Format identifier embedded in every serialized document.  Cost tables are
-#: at v2: the multi-objective layer added per-primitive workspace and energy
-#: tables plus per-conversion energies, which the frontier cannot function
-#: without — so v1 documents are rejected here (and treated as cache misses
-#: by :class:`~repro.cost.store.CostStore`) rather than half-loaded.  Plans
-#: stay at v1: the vector fields are optional keys that default to zero on
-#: older documents.
-COST_TABLE_FORMAT = "repro/cost-tables/v2"
+#: at v3: the precision axis added the table-level ``dtype``, per-scenario
+#: dtypes and the per-primitive accuracy-loss table (v2 added the
+#: multi-objective workspace/energy tables).  Older documents are rejected
+#: here (and treated as cache misses by
+#: :class:`~repro.cost.store.CostStore`) rather than half-loaded: tables
+#: without accuracy data would silently price every precision as free.
+#: Plans stay at v1: ``dtype`` and the accuracy fields are optional keys
+#: that default to fp32/zero on older documents.
+COST_TABLE_FORMAT = "repro/cost-tables/v3"
 PLAN_FORMAT = "repro/plan/v1"
 
 
@@ -67,6 +69,7 @@ def cost_tables_to_dict(tables: CostTables) -> dict:
             "padding": s.padding,
             "groups": s.groups,
             "batch": s.batch,
+            "dtype": s.dtype,
         }
         for layer, s in tables.scenarios.items()
     }
@@ -99,11 +102,13 @@ def cost_tables_to_dict(tables: CostTables) -> dict:
         "network": tables.network_name,
         "threads": tables.threads,
         "batch": tables.batch,
+        "dtype": tables.dtype,
         "scenarios": scenarios,
         "shapes": {layer: list(shape) for layer, shape in tables.shapes.items()},
         "node_costs": tables.node_costs,
         "node_workspace": tables.node_workspace,
         "node_energy": tables.node_energy,
+        "node_accuracy": tables.node_accuracy,
         "dt_costs": dt_costs,
         "dt_energy": dt_energy,
         "dt_hops": dt_hops,
@@ -173,6 +178,10 @@ def cost_tables_from_dict(document: dict, dt_graph: DTGraph) -> CostTables:
         layer: {name: float(value) for name, value in values.items()}
         for layer, values in document.get("node_energy", {}).items()
     }
+    node_accuracy = {
+        layer: {name: float(value) for name, value in values.items()}
+        for layer, values in document.get("node_accuracy", {}).items()
+    }
     return CostTables(
         network_name=document["network"],
         threads=int(document["threads"]),
@@ -182,9 +191,11 @@ def cost_tables_from_dict(document: dict, dt_graph: DTGraph) -> CostTables:
         dt_paths=dt_paths,
         dt_costs=dt_costs,
         batch=int(document.get("batch", 1)),
+        dtype=str(document.get("dtype", "fp32")),
         node_workspace=node_workspace,
         node_energy=node_energy,
         dt_energy=dt_energy,
+        node_accuracy=node_accuracy,
     )
 
 
@@ -212,6 +223,7 @@ def plan_to_dict(plan: NetworkPlan) -> dict:
         "platform": plan.platform_name,
         "threads": plan.threads,
         "batch": plan.batch,
+        "dtype": plan.dtype,
         "layers": [
             {
                 "layer": d.layer,
@@ -222,6 +234,7 @@ def plan_to_dict(plan: NetworkPlan) -> dict:
                 "note": d.note,
                 "workspace_bytes": d.workspace_bytes,
                 "energy_j": d.energy_j,
+                "accuracy_loss": d.accuracy_loss,
             }
             for d in plan.layer_decisions.values()
         ],
@@ -258,6 +271,7 @@ def plan_from_dict(document: dict, dt_graph: DTGraph) -> NetworkPlan:
         platform_name=document["platform"],
         threads=int(document["threads"]),
         batch=int(document.get("batch", 1)),
+        dtype=str(document.get("dtype", "fp32")),
     )
     for entry in document["layers"]:
         plan.layer_decisions[entry["layer"]] = LayerDecision(
@@ -269,6 +283,7 @@ def plan_from_dict(document: dict, dt_graph: DTGraph) -> NetworkPlan:
             note=entry.get("note", ""),
             workspace_bytes=float(entry.get("workspace_bytes", 0.0)),
             energy_j=float(entry.get("energy_j", 0.0)),
+            accuracy_loss=float(entry.get("accuracy_loss", 0.0)),
         )
     for entry in document["edges"]:
         hops = entry["hops"]

@@ -43,12 +43,15 @@ PathLike = Union[str, Path]
 #: editing a platform's modelled numbers — or registering a different
 #: platform under a reused name — invalidates its persisted tables; v4 holds
 #: the multi-objective cost-table payload (per-primitive workspace and energy
-#: plus per-conversion energies, ``repro/cost-tables/v2``).  Bumping the
-#: version makes the skew explicit in both directions — older-format entries
-#: are *regenerated and overwritten* by :meth:`CostStore.tables`, skipped by
+#: plus per-conversion energies, ``repro/cost-tables/v2``); v5 adds ``dtype``
+#: to the key schema and holds the precision-aware payload (per-primitive
+#: accuracy losses, ``repro/cost-tables/v3``), so fp32/fp16/int8 tables for
+#: the same tuple never alias on disk.  Bumping the version makes the skew
+#: explicit in both directions — older-format entries are *regenerated and
+#: overwritten* by :meth:`CostStore.tables`, skipped by
 #: :meth:`CostStore.entries` (and removed by :meth:`CostStore.clear`) instead
-#: of being half-parsed, and older checkouts reject v4 documents outright.
-STORE_ENTRY_FORMAT = "repro/cost-store-entry/v4"
+#: of being half-parsed, and older checkouts reject v5 documents outright.
+STORE_ENTRY_FORMAT = "repro/cost-store-entry/v5"
 
 
 @dataclass(frozen=True)
@@ -72,6 +75,9 @@ class StoreKey:
     #: providers (the host profiler).  Part of the key, so editing a
     #: platform's numbers invalidates its stored tables.
     platform_version: str = ""
+    #: Numeric precision the tables were priced for.  Part of the key, so
+    #: fp32/fp16/int8 tables for the same tuple never alias each other.
+    dtype: str = "fp32"
 
     def digest(self) -> str:
         """A short stable digest of the full key (used in the filename)."""
@@ -85,6 +91,7 @@ class StoreKey:
                 self.components,
                 str(self.batch),
                 self.platform_version,
+                self.dtype,
             )
         )
         return hashlib.sha256(text.encode()).hexdigest()[:16]
@@ -235,6 +242,7 @@ class CostStore:
             platform_version=(
                 "" if query.platform is None else platform_version(query.platform)
             ),
+            dtype=query.dtype,
         )
 
     def shard_for(self, key: StoreKey) -> Path:
@@ -249,7 +257,10 @@ class CostStore:
 
     def path_for(self, key: StoreKey) -> Path:
         """The JSON file one key is stored at (readable prefix + key digest)."""
-        prefix = f"{_slug(key.fingerprint)}_{_slug(key.platform)}_{key.threads}t_b{key.batch}"
+        prefix = (
+            f"{_slug(key.fingerprint)}_{_slug(key.platform)}"
+            f"_{key.threads}t_b{key.batch}_{_slug(key.dtype)}"
+        )
         return self.shard_for(key) / f"{prefix}_{key.digest()}.json"
 
     def contains(self, query: CostQuery) -> bool:

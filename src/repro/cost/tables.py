@@ -38,11 +38,12 @@ Shape = Tuple[int, int, int]
 
 @dataclass
 class CostTables:
-    """Profiled node and edge cost data for one (network, platform, threads, batch) tuple."""
+    """Profiled node and edge cost data for one (network, platform, threads, batch, dtype) tuple."""
 
     network_name: str
     threads: int
-    #: Convolutional scenario of every convolution layer (carrying the batch).
+    #: Convolutional scenario of every convolution layer (carrying the batch
+    #: and the dtype).
     scenarios: Dict[str, ConvScenario]
     #: Output tensor shape of every layer.
     shapes: Dict[str, Shape]
@@ -54,12 +55,16 @@ class CostTables:
     dt_costs: Dict[Shape, Dict[Tuple[str, str], float]]
     #: Minibatch size the costs were produced for (1 = the paper's setting).
     batch: int = 1
+    #: Numeric precision the costs were produced for ("fp32" = the paper's).
+    dtype: str = "fp32"
     #: layer name -> primitive name -> peak scratch workspace in bytes.
     node_workspace: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: layer name -> primitive name -> energy proxy in joules.
     node_energy: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: tensor shape -> (source, target layout name) -> conversion energy (J).
     dt_energy: Dict[Shape, Dict[Tuple[str, str], float]] = field(default_factory=dict)
+    #: layer name -> primitive name -> modelled accuracy loss (fraction).
+    node_accuracy: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def primitive_cost(self, layer: str, primitive: str) -> float:
         """Cost of implementing ``layer`` with ``primitive``."""
@@ -78,12 +83,22 @@ class CostTables:
         """Energy proxy (joules) of one primitive on one layer (0 if absent)."""
         return self.node_energy.get(layer, {}).get(primitive, 0.0)
 
+    def primitive_accuracy(self, layer: str, primitive: str) -> float:
+        """Modelled accuracy loss of one primitive on one layer (0 if absent).
+
+        fp32 tables (and tables produced before the precision axis) carry no
+        accuracy data; those report 0, which is also the correct fp32 value.
+        """
+        return self.node_accuracy.get(layer, {}).get(primitive, 0.0)
+
     def primitive_vector(self, layer: str, primitive: str) -> CostVector:
-        """The full (time, workspace, energy) vector of one node alternative."""
+        """The full (time, workspace, energy, accuracy) vector of one node
+        alternative."""
         return CostVector(
             time_ms=1e3 * self.node_costs[layer][primitive],
             peak_workspace_bytes=self.primitive_workspace(layer, primitive),
             energy_proxy_j=self.primitive_energy(layer, primitive),
+            accuracy_proxy=self.primitive_accuracy(layer, primitive),
         )
 
     def cheapest_primitive(self, layer: str) -> Tuple[str, float]:
@@ -123,6 +138,7 @@ def build_cost_tables(
     threads: int = 1,
     batch: int = 1,
     platform=None,
+    dtype: str = "fp32",
 ) -> CostTables:
     """Profile a network against a primitive library on a cost model.
 
@@ -132,6 +148,12 @@ def build_cost_tables(
     the whole network for minibatches of that size: node costs are produced
     from the batched scenarios and edge costs from batched conversions
     (per-image shapes, whole-batch traffic).
+
+    ``dtype`` prices the network at that precision: scenarios carry the
+    dtype, so per-precision ``supports()`` gating (FFT declines int8) and
+    precision-aware pricing (lane packing, itemsize-scaled traffic,
+    quantize/dequantize boundaries) both apply, and the per-node modelled
+    accuracy losses are recorded alongside time/workspace/energy.
 
     ``platform`` applies per-platform primitive gating: variants the platform
     does not offer are never priced (``supports()`` consistent with pricing).
@@ -145,7 +167,7 @@ def build_cost_tables(
     if platform is None:
         platform = getattr(cost_model, "platform", None)
     scenarios = {
-        name: scenario.with_batch(batch)
+        name: scenario.with_batch(batch).with_dtype(dtype)
         for name, scenario in network.conv_scenarios().items()
     }
     shapes = network.infer_shapes()
@@ -157,23 +179,29 @@ def build_cost_tables(
     # zero energy, which the frontier treats as "objective not modelled").
     energy_fn = getattr(cost_model, "primitive_energy", None)
     transform_energy_fn = getattr(cost_model, "transform_energy", None)
+    accuracy_fn = getattr(cost_model, "primitive_accuracy_loss", None)
 
     node_costs: Dict[str, Dict[str, float]] = {}
     node_workspace: Dict[str, Dict[str, float]] = {}
     node_energy: Dict[str, Dict[str, float]] = {}
+    node_accuracy: Dict[str, Dict[str, float]] = {}
     for layer_name, scenario in scenarios.items():
         per_primitive: Dict[str, float] = {}
         per_workspace: Dict[str, float] = {}
         per_energy: Dict[str, float] = {}
+        per_accuracy: Dict[str, float] = {}
         for primitive in library.applicable(scenario, platform=platform):
             per_primitive[primitive.name] = cost_model.primitive_cost(
                 primitive, scenario, threads=threads
             )
-            per_workspace[primitive.name] = 4.0 * primitive.workspace_elements(
-                scenario.per_image
-            )
+            per_workspace[primitive.name] = float(
+                scenario.itemsize
+            ) * primitive.workspace_elements(scenario.per_image)
             per_energy[primitive.name] = (
                 energy_fn(primitive, scenario, threads=threads) if energy_fn else 0.0
+            )
+            per_accuracy[primitive.name] = (
+                accuracy_fn(primitive, scenario) if accuracy_fn else 0.0
             )
         if not per_primitive:
             raise ValueError(
@@ -183,6 +211,7 @@ def build_cost_tables(
         node_costs[layer_name] = per_primitive
         node_workspace[layer_name] = per_workspace
         node_energy[layer_name] = per_energy
+        node_accuracy[layer_name] = per_accuracy
 
     # Every distinct producer-output shape needs one all-pairs DT solution.
     edge_shapes = {shapes[edge.producer] for edge in network.edges()}
@@ -193,7 +222,7 @@ def build_cost_tables(
         paths = dt_graph.all_pairs_shortest_paths(
             shape,
             cost_fn=lambda transform, s: cost_model.transform_cost(
-                transform, s, threads=threads, batch=batch
+                transform, s, threads=threads, batch=batch, dtype=dtype
             ),
         )
         dt_paths[shape] = paths
@@ -223,7 +252,9 @@ def build_cost_tables(
         dt_paths=dt_paths,
         dt_costs=dt_costs,
         batch=batch,
+        dtype=dtype,
         node_workspace=node_workspace,
         node_energy=node_energy,
         dt_energy=dt_energy,
+        node_accuracy=node_accuracy,
     )

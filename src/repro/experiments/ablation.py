@@ -55,9 +55,10 @@ class ScaledTransformCostModel:
         shape: Tuple[int, int, int],
         threads: int = 1,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> float:
         return self.scale * self.inner.transform_cost(
-            transform, shape, threads=threads, batch=batch
+            transform, shape, threads=threads, batch=batch, dtype=dtype
         )
 
 

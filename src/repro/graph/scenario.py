@@ -23,6 +23,12 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Tuple
 
+#: The numeric precisions a scenario can request, in decreasing width.
+DTYPES: Tuple[str, ...] = ("fp32", "fp16", "int8")
+
+#: Bytes per element of each precision (what the memory system moves).
+DTYPE_ITEMSIZE = {"fp32": 4, "fp16": 2, "int8": 1}
+
 
 @dataclass(frozen=True)
 class ConvScenario:
@@ -51,6 +57,13 @@ class ConvScenario:
         stays per-image; work totals (:meth:`macs`, :meth:`input_elements`,
         :meth:`output_elements`) scale exactly linearly in ``batch`` while the
         kernel is shared across the whole batch.
+    dtype:
+        Numeric precision of the activations and weights: ``"fp32"`` (the
+        paper's setting), ``"fp16"`` or ``"int8"``.  Like ``batch`` it does
+        not change geometry — element counts are identical — but it changes
+        the bytes the memory system moves, the SIMD lanes a vector unit
+        packs, which primitives apply (FFT stays in the float spectral
+        domain) and the modelled accuracy of the result.
     """
 
     c: int
@@ -62,6 +75,7 @@ class ConvScenario:
     padding: int = 0
     groups: int = 1
     batch: int = 1
+    dtype: str = "fp32"
 
     def __post_init__(self) -> None:
         for field_name in ("c", "h", "w", "stride", "k", "m", "groups", "batch"):
@@ -78,6 +92,10 @@ class ConvScenario:
             raise ValueError(
                 "kernel does not fit in the padded input: "
                 f"k={self.k}, padded input {self.h + 2 * self.padding}x{self.w + 2 * self.padding}"
+            )
+        if self.dtype not in DTYPES:
+            raise ValueError(
+                f"dtype must be one of {DTYPES}, got {self.dtype!r}"
             )
 
     # -- derived geometry ----------------------------------------------------
@@ -179,6 +197,16 @@ class ConvScenario:
         """Kernel elements (independent of batch: weights are shared)."""
         return self.m * (self.c // self.groups) * self.k * self.k
 
+    @property
+    def itemsize(self) -> int:
+        """Bytes per tensor element at this scenario's precision."""
+        return DTYPE_ITEMSIZE[self.dtype]
+
+    @property
+    def is_quantized(self) -> bool:
+        """Whether the scenario runs below the fp32 reference precision."""
+        return self.dtype != "fp32"
+
     # -- convenience ----------------------------------------------------------
 
     @property
@@ -203,6 +231,20 @@ class ConvScenario:
             raise ValueError("batch must be >= 1")
         return replace(self, batch=batch)
 
+    def with_dtype(self, dtype: str) -> "ConvScenario":
+        """The same scenario computed at another numeric precision.
+
+        Precision is an explicit axis exactly like the batch: geometry and
+        element counts are untouched (``s.with_dtype(d).macs() == s.macs()``),
+        so per-image exactness is preserved; only byte traffic, lane packing,
+        primitive applicability and the modelled accuracy change.
+        """
+        if dtype not in DTYPES:
+            raise ValueError(f"dtype must be one of {DTYPES}, got {dtype!r}")
+        if dtype == self.dtype:
+            return self
+        return replace(self, dtype=dtype)
+
     def describe(self) -> str:
         """Human-readable one-line description used in reports and figures."""
         parts = [
@@ -219,4 +261,6 @@ class ConvScenario:
             parts.append(f"groups={self.groups}")
         if self.batch != 1:
             parts.append(f"N={self.batch}")
+        if self.dtype != "fp32":
+            parts.append(f"dtype={self.dtype}")
         return " ".join(parts)

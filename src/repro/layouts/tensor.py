@@ -16,6 +16,13 @@ batched interchange format is the ``(N, C, H, W)`` view of
 :meth:`LayoutTensor.to_nchw`; layout conversions treat the batch axis as
 purely elementwise, so every transform chain works unchanged on batched
 tensors.
+
+Precision support lives here too: :data:`NUMPY_DTYPES` maps the scenario
+dtype axis (``"fp32"``/``"fp16"``/``"int8"``) onto numpy storage types, and
+:func:`quantize_symmetric`/:func:`dequantize` implement the int8 scheme every
+quantized primitive shares — symmetric per-tensor scaling into ``[-127, 127]``
+with exact int32-style accumulation (integer-valued products are accumulated
+without rounding, then rescaled once per tensor).
 """
 
 from __future__ import annotations
@@ -26,6 +33,57 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.layouts.layout import CHW, Layout
+
+#: Numpy storage type per scenario precision.  Layout conversions are
+#: dtype-polymorphic (``_chw_to_physical`` preserves the array dtype), so a
+#: blocked int8 tensor pads with int8 zeros and moves 1-byte elements.
+NUMPY_DTYPES = {"fp32": np.float32, "fp16": np.float16, "int8": np.int8}
+
+#: The int8 quantization grid: symmetric, so -128 is never produced and the
+#: representable range is exactly ``[-127 * scale, 127 * scale]``.
+INT8_QUANT_MAX = 127
+
+
+def numpy_dtype(dtype: str):
+    """The numpy storage type for a scenario precision string."""
+    try:
+        return NUMPY_DTYPES[dtype]
+    except KeyError:
+        raise ValueError(
+            f"unknown dtype {dtype!r}; expected one of {sorted(NUMPY_DTYPES)}"
+        ) from None
+
+
+def quantize_symmetric(array: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Quantize a float tensor to int8 with one symmetric per-tensor scale.
+
+    Returns ``(q, scale)`` with ``q`` an int8 array in ``[-127, 127]`` and
+    ``scale`` the dequantization step, chosen so the tensor's max magnitude
+    maps to 127 (``scale = max|x| / 127``).  An all-zero tensor quantizes to
+    zeros with scale 1.0 so dequantization is always well defined.
+    """
+    array = np.asarray(array, dtype=np.float64)
+    peak = float(np.max(np.abs(array))) if array.size else 0.0
+    if peak == 0.0:
+        return np.zeros(array.shape, dtype=np.int8), 1.0
+    scale = peak / INT8_QUANT_MAX
+    q = np.clip(np.rint(array / scale), -INT8_QUANT_MAX, INT8_QUANT_MAX)
+    return q.astype(np.int8), scale
+
+
+def dequantize(q: np.ndarray, scale: float) -> np.ndarray:
+    """Map int8 (or int32 accumulator) values back onto the real line."""
+    return np.asarray(q, dtype=np.float64) * float(scale)
+
+
+def fp16_round_trip(array: np.ndarray) -> np.ndarray:
+    """Round a float tensor through IEEE fp16 storage precision.
+
+    Models an fp16 compute path: operands are held in half precision, the
+    accumulation happens in a wider type (as real fp16 FMA units do), so the
+    precision loss is exactly the fp16 rounding of the operands.
+    """
+    return np.asarray(array).astype(np.float16).astype(np.float32)
 
 
 @dataclass

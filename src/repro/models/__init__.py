@@ -8,14 +8,17 @@ consumes only layer shapes and connectivity.  Beyond the paper's three
 families the zoo also carries ResNet-18 (residual joins: multi-input
 eltwise-add DAGs) and MobileNet-v1 (depthwise-separable convolutions), which
 exercise graph structures and primitive capability gaps the paper's networks
-do not.
+do not, plus their successors ResNet-50 (bottleneck blocks) and MobileNet-v2
+(inverted residuals with linear bottlenecks).
 """
 
 from repro.models.alexnet import build_alexnet
 from repro.models.vgg import build_vgg, VGG_CONFIGS
 from repro.models.googlenet import build_googlenet
 from repro.models.mobilenet_v1 import build_mobilenet_v1
+from repro.models.mobilenet_v2 import build_mobilenet_v2
 from repro.models.resnet18 import build_resnet18
+from repro.models.resnet50 import build_resnet50
 
 #: Builders for every model of the zoo, keyed by canonical lowercase name;
 #: the first seven are the networks of the paper's figures.
@@ -29,7 +32,9 @@ MODEL_BUILDERS = {
     "googlenet": build_googlenet,
     "googlenet-aux": lambda: build_googlenet(aux_classifiers=True),
     "resnet18": build_resnet18,
+    "resnet50": build_resnet50,
     "mobilenet_v1": build_mobilenet_v1,
+    "mobilenet_v2": build_mobilenet_v2,
 }
 
 
@@ -49,7 +54,9 @@ __all__ = [
     "build_vgg",
     "build_googlenet",
     "build_resnet18",
+    "build_resnet50",
     "build_mobilenet_v1",
+    "build_mobilenet_v2",
     "build_model",
     "MODEL_BUILDERS",
     "VGG_CONFIGS",

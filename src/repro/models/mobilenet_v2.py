@@ -1,0 +1,146 @@
+"""MobileNet-v2 (Sandler et al., 2018): the inverted-residual model of the zoo.
+
+The inverted residual turns both earlier extensions inside out: a 1x1
+*expansion* convolution widens the representation by a factor ``t``, a
+depthwise 3x3 filters it per-channel, and a 1x1 *projection* narrows it back
+to a linear bottleneck — no activation after the projection, and a residual
+join across the whole block whenever the stride is 1 and the widths match.
+For the selector this combines MobileNet-v1's depthwise capability gaps with
+ResNet's layout-consistency pressure at the joins, with the twist that the
+*wide* interior (where compute lives) and the *narrow* bottleneck (where the
+residual lives) pull layout decisions in different directions.
+
+The publication's ReLU6 is modelled as plain ReLU (selection consumes shapes
+and connectivity only) and batch normalization is folded into the preceding
+convolution, as everywhere in this zoo.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.layer import (
+    ConvLayer,
+    EltwiseAddLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    PoolLayer,
+    PoolMode,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.graph.network import Network
+
+#: (expansion factor t, out_channels c, repeats n, first-block stride s) per
+#: stage (Table 2 of the MobileNet-v2 paper).
+MOBILENET_V2_STAGES: List[Tuple[int, int, int, int]] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _scaled(channels: int, width_multiplier: float) -> int:
+    """Apply the paper's width multiplier ``alpha`` to a channel count."""
+    return max(int(channels * width_multiplier), 1)
+
+
+def _add_inverted_residual(
+    net: Network, name: str, source: str, in_channels: int, out_channels: int,
+    expansion: int, stride: int,
+) -> str:
+    """Add one inverted-residual block; returns the name of its output layer."""
+    expanded = in_channels * expansion
+    if expansion != 1:
+        net.add_layer(
+            ConvLayer(f"{name}/expand", out_channels=expanded, kernel=1, stride=1), [source]
+        )
+        net.add_layer(ReLULayer(f"{name}/expand_relu"), [f"{name}/expand"])
+        interior = f"{name}/expand_relu"
+    else:
+        # The first stage keeps t=1: no expansion layer, the depthwise
+        # filters the input directly.
+        interior = source
+    net.add_layer(
+        ConvLayer(
+            f"{name}/dw",
+            out_channels=expanded,
+            kernel=3,
+            stride=stride,
+            padding=1,
+            groups=expanded,
+        ),
+        [interior],
+    )
+    net.add_layer(ReLULayer(f"{name}/dw_relu"), [f"{name}/dw"])
+    # Linear bottleneck: the projection carries no activation.
+    net.add_layer(
+        ConvLayer(f"{name}/project", out_channels=out_channels, kernel=1, stride=1),
+        [f"{name}/dw_relu"],
+    )
+    if stride == 1 and in_channels == out_channels:
+        net.add_layer(EltwiseAddLayer(f"{name}/add"), [f"{name}/project", source])
+        return f"{name}/add"
+    return f"{name}/project"
+
+
+def build_mobilenet_v2(input_size: int = 224, width_multiplier: float = 1.0) -> Network:
+    """Build the MobileNet-v2 inference graph.
+
+    Parameters
+    ----------
+    input_size:
+        Spatial size of the (square) RGB input; must be a multiple of 32 so
+        the five stride-2 reductions land on integer feature-map sizes.
+    width_multiplier:
+        The paper's ``alpha``: uniformly thins every layer's channel count.
+        Small values give faithfully shaped but cheap networks for
+        functional tests.
+    """
+    if input_size % 32 != 0:
+        raise ValueError(f"input_size must be a multiple of 32, got {input_size}")
+    if width_multiplier <= 0:
+        raise ValueError(f"width_multiplier must be > 0, got {width_multiplier}")
+    net = Network("mobilenet_v2")
+    net.add_layer(InputLayer("data", shape=(3, input_size, input_size)))
+
+    channels = _scaled(32, width_multiplier)
+    net.add_layer(
+        ConvLayer("conv1", out_channels=channels, kernel=3, stride=2, padding=1), ["data"]
+    )
+    net.add_layer(ReLULayer("conv1_relu"), ["conv1"])
+
+    source = "conv1_relu"
+    block = 1
+    for expansion, out_channels, repeats, first_stride in MOBILENET_V2_STAGES:
+        scaled_out = _scaled(out_channels, width_multiplier)
+        for index in range(repeats):
+            stride = first_stride if index == 0 else 1
+            source = _add_inverted_residual(
+                net, f"block{block}", source, channels, scaled_out, expansion, stride
+            )
+            channels = scaled_out
+            block += 1
+
+    # The final 1x1 expansion before the classifier (1280 at alpha = 1; the
+    # publication never thins it below 1280, but scaled test builds do).
+    head = _scaled(1280, width_multiplier)
+    net.add_layer(ConvLayer("conv_head", out_channels=head, kernel=1, stride=1), [source])
+    net.add_layer(ReLULayer("conv_head_relu"), ["conv_head"])
+
+    final_size = input_size // 32
+    net.add_layer(
+        PoolLayer("pool8", kernel=final_size, stride=1, mode=PoolMode.AVERAGE),
+        ["conv_head_relu"],
+    )
+    net.add_layer(FlattenLayer("flatten"), ["pool8"])
+    net.add_layer(FullyConnectedLayer("fc", out_features=1000), ["flatten"])
+    net.add_layer(SoftmaxLayer("prob"), ["fc"])
+
+    net.validate()
+    return net

@@ -1,0 +1,129 @@
+"""ResNet-50 (He et al., 2016): the bottleneck-block residual model of the zoo.
+
+Where ResNet-18's basic block stacks two 3x3 convolutions, the bottleneck
+block sandwiches a 3x3 between two 1x1 convolutions — a 1x1 *reduce* into a
+narrow working width, the 3x3 proper, and a 1x1 *expand* back to four times
+the working width.  This mixes kernel sizes inside every residual join: the
+1x1 layers favour the GEMM-style families while the 3x3 can profit from
+Winograd, so the PBQP solve has to trade per-layer wins against the layout
+consistency the eltwise-add demands — at 16 bottlenecks, far more joins than
+ResNet-18 offers.
+
+The stride-2 reduction sits on the 3x3 convolution (the widely deployed
+"v1.5" placement) rather than the leading 1x1 of the original publication.
+Batch normalization is folded into the preceding convolution, as everywhere
+in this zoo.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.layer import (
+    ConvLayer,
+    EltwiseAddLayer,
+    FlattenLayer,
+    FullyConnectedLayer,
+    InputLayer,
+    PoolLayer,
+    PoolMode,
+    ReLULayer,
+    SoftmaxLayer,
+)
+from repro.graph.network import Network
+
+#: Output width of a bottleneck block relative to its 3x3 working width.
+BOTTLENECK_EXPANSION = 4
+
+#: (stage name, working-width multiplier, blocks, first-block stride) per stage.
+RESNET50_STAGES: List[Tuple[str, int, int, int]] = [
+    ("conv2", 1, 3, 1),
+    ("conv3", 2, 4, 2),
+    ("conv4", 4, 6, 2),
+    ("conv5", 8, 3, 2),
+]
+
+
+def _add_bottleneck_block(
+    net: Network, name: str, source: str, channels: int, stride: int, project: bool
+) -> str:
+    """Add one bottleneck block; returns the name of its output layer."""
+    out_channels = channels * BOTTLENECK_EXPANSION
+    net.add_layer(
+        ConvLayer(f"{name}/conv1", out_channels=channels, kernel=1, stride=1), [source]
+    )
+    net.add_layer(ReLULayer(f"{name}/relu1"), [f"{name}/conv1"])
+    net.add_layer(
+        ConvLayer(f"{name}/conv2", out_channels=channels, kernel=3, stride=stride, padding=1),
+        [f"{name}/relu1"],
+    )
+    net.add_layer(ReLULayer(f"{name}/relu2"), [f"{name}/conv2"])
+    net.add_layer(
+        ConvLayer(f"{name}/conv3", out_channels=out_channels, kernel=1, stride=1),
+        [f"{name}/relu2"],
+    )
+    if project:
+        # Projection shortcut: the first block of every stage changes the
+        # channel count (and usually the stride), so the identity path needs
+        # a 1x1 stride-matched convolution to align shapes.
+        net.add_layer(
+            ConvLayer(f"{name}/downsample", out_channels=out_channels, kernel=1, stride=stride),
+            [source],
+        )
+        shortcut = f"{name}/downsample"
+    else:
+        shortcut = source
+    net.add_layer(EltwiseAddLayer(f"{name}/add"), [f"{name}/conv3", shortcut])
+    net.add_layer(ReLULayer(f"{name}/relu3"), [f"{name}/add"])
+    return f"{name}/relu3"
+
+
+def build_resnet50(input_size: int = 224, base_width: int = 64) -> Network:
+    """Build the ResNet-50 inference graph.
+
+    Parameters
+    ----------
+    input_size:
+        Spatial size of the (square) RGB input; must be a multiple of 32 so
+        the five stride-2 reductions land on integer feature-map sizes.
+    base_width:
+        Working width of the first stage's bottlenecks (64 in the
+        publication).  Smaller values give faithfully shaped but cheap
+        networks for functional tests.
+    """
+    if input_size % 32 != 0:
+        raise ValueError(f"input_size must be a multiple of 32, got {input_size}")
+    if base_width < 1:
+        raise ValueError(f"base_width must be >= 1, got {base_width}")
+    net = Network("resnet50")
+    net.add_layer(InputLayer("data", shape=(3, input_size, input_size)))
+
+    net.add_layer(
+        ConvLayer("conv1", out_channels=base_width, kernel=7, stride=2, padding=3),
+        ["data"],
+    )
+    net.add_layer(ReLULayer("conv1_relu"), ["conv1"])
+    net.add_layer(
+        PoolLayer("pool1", kernel=3, stride=2, padding=1, mode=PoolMode.MAX, ceil_mode=False),
+        ["conv1_relu"],
+    )
+
+    source = "pool1"
+    for stage_name, multiplier, blocks, first_stride in RESNET50_STAGES:
+        channels = base_width * multiplier
+        for index in range(1, blocks + 1):
+            stride = first_stride if index == 1 else 1
+            source = _add_bottleneck_block(
+                net, f"{stage_name}_{index}", source, channels, stride, project=index == 1
+            )
+
+    final_size = input_size // 32
+    net.add_layer(
+        PoolLayer("pool5", kernel=final_size, stride=1, mode=PoolMode.AVERAGE), [source]
+    )
+    net.add_layer(FlattenLayer("flatten"), ["pool5"])
+    net.add_layer(FullyConnectedLayer("fc", out_features=1000), ["flatten"])
+    net.add_layer(SoftmaxLayer("prob"), ["fc"])
+
+    net.validate()
+    return net

@@ -204,14 +204,17 @@ class Frontier:
             f"({self.threads} thread{plural}{batch}, seed {self.seed})",
             f"  {len(self.points)} nondominated of {self.candidates_evaluated} "
             f"candidate plans ({self.solve_seconds * 1e3:.0f} ms to build)",
-            f"  {'time ms':>10} {'workspace KiB':>14} {'energy mJ':>10}  generator",
+            f"  {'time ms':>10} {'workspace KiB':>14} {'energy mJ':>10} "
+            f"{'acc loss':>9} {'dtype':>5}  generator",
         ]
         for point in self.points:
             vector = point.vector
             lines.append(
                 f"  {vector.time_ms:>10.2f} "
                 f"{vector.peak_workspace_bytes / 1024.0:>14.1f} "
-                f"{vector.energy_proxy_j * 1e3:>10.3f}  {point.generator}"
+                f"{vector.energy_proxy_j * 1e3:>10.3f} "
+                f"{vector.accuracy_proxy:>9.5f} "
+                f"{point.plan.dtype:>5}  {point.generator}"
             )
         return "\n".join(lines)
 
@@ -427,8 +430,14 @@ def solve_under_workspace_cap(
 
 
 def _plan_signature(plan: NetworkPlan) -> tuple:
-    """A plan's decision identity: every layer's primitive or adopted layout."""
-    return tuple(
+    """A plan's decision identity: its precision plus every layer's primitive
+    or adopted layout.
+
+    The dtype is part of the identity: an int8 plan making the same per-layer
+    choices as the fp32 plan is a *different* plan (different costs, different
+    accuracy), so cross-precision candidates must never dedup each other.
+    """
+    return (plan.dtype,) + tuple(
         (name, decision.primitive or decision.output_layout.name)
         for name, decision in sorted(plan.layer_decisions.items())
     )
@@ -440,6 +449,7 @@ def build_frontier(
     seed: int = 0,
     budget_steps: int = DEFAULT_BUDGET_STEPS,
     scalarization_weights: Sequence[Tuple[float, float, float]] = SCALARIZATION_WEIGHTS,
+    dtype_contexts: Optional[Dict[str, SelectionContext]] = None,
 ) -> Frontier:
     """Build the Pareto frontier of whole-network plans for one context.
 
@@ -448,6 +458,14 @@ def build_frontier(
     frontier always contains the best plan *under* the budget when one
     exists; decisions (:meth:`Frontier.min_time_under`) then apply the bounds
     strictly.
+
+    ``dtype_contexts`` maps precision names to selection contexts priced at
+    that precision (same network/platform/threads/batch as ``context``).
+    Each contributes its scalar PBQP plan as a ``dtype:<name>`` candidate,
+    finalized against its *own* tables so its cost vector — including the
+    accuracy-loss axis — is exact.  This is what turns the frontier into an
+    accuracy-vs-speed trade-off: the int8 plan anchors the fast/lossy end,
+    the fp32 plan the exact end.
     """
     constraints = dict(constraints or {})
     # Validate constraint keys up front (same convention as CostVector).
@@ -461,6 +479,16 @@ def build_frontier(
     strategies.sort(key=lambda strategy: (strategy.name != "pbqp"))
     for strategy in strategies:
         candidates.append((strategy.build_plan(context), f"strategy:{strategy.name}"))
+
+    # 1b. Cross-precision PBQP plans (deterministic dtype order).
+    selector = PBQPSelector()
+    for dtype_name in sorted(dtype_contexts or {}):
+        other = dtype_contexts[dtype_name]
+        if other is context or other.dtype == context.dtype:
+            continue
+        plan = selector.select(other)
+        plan.metadata["generator"] = f"dtype:{dtype_name}"
+        candidates.append((plan, f"dtype:{dtype_name}"))
 
     # 2. Epsilon-constraint sweep over peak-workspace caps.
     levels = workspace_levels(context)

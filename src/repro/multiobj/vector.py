@@ -18,6 +18,11 @@ objective layer reasons about:
   Deliberately *not* proportional to time: FFT spends few operations on much
   traffic while the direct loops spend many operations on little traffic, so
   the energy ordering of candidates differs from the time ordering.
+* ``accuracy_proxy`` — modelled top-1 accuracy *loss* of running layers
+  below fp32 (see :data:`repro.cost.analytical.DTYPE_ACCURACY_LOSS`);
+  additive across layers, zero for pure-fp32 plans.  Minimized like the
+  rest, which makes accuracy-vs-speed a genuine front axis once plans of
+  several precisions compete.
 
 This module has no dependency on the rest of :mod:`repro` so the cost layer
 can import it without cycles.
@@ -28,26 +33,29 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Sequence
 
-#: Objective names, in canonical (lexicographic default) order.  All three
+#: Objective names, in canonical (lexicographic default) order.  All four
 #: are minimized.
-OBJECTIVES = ("time_ms", "peak_workspace_bytes", "energy_proxy_j")
+OBJECTIVES = ("time_ms", "peak_workspace_bytes", "energy_proxy_j", "accuracy_proxy")
 
 
 @dataclass(frozen=True)
 class CostVector:
-    """One point in the (time, peak workspace, energy) objective space."""
+    """One point in the (time, workspace, energy, accuracy-loss) space."""
 
     time_ms: float = 0.0
     peak_workspace_bytes: float = 0.0
     energy_proxy_j: float = 0.0
+    accuracy_proxy: float = 0.0
 
     # -- composition ------------------------------------------------------------
 
     def combine(self, other: "CostVector") -> "CostVector":
-        """Sequential composition: times and energies add, workspaces max.
+        """Sequential composition: times, energies and accuracy losses add,
+        workspaces max.
 
         This is the whole-network accumulation rule — layers execute one
-        after another, so their scratch buffers never coexist.
+        after another, so their scratch buffers never coexist (while every
+        layer's quantization noise compounds into the final output).
         """
         return CostVector(
             time_ms=self.time_ms + other.time_ms,
@@ -55,6 +63,7 @@ class CostVector:
                 self.peak_workspace_bytes, other.peak_workspace_bytes
             ),
             energy_proxy_j=self.energy_proxy_j + other.energy_proxy_j,
+            accuracy_proxy=self.accuracy_proxy + other.accuracy_proxy,
         )
 
     @staticmethod
@@ -69,7 +78,12 @@ class CostVector:
 
     def as_tuple(self) -> tuple:
         """The objective values in canonical order (all minimized)."""
-        return (self.time_ms, self.peak_workspace_bytes, self.energy_proxy_j)
+        return (
+            self.time_ms,
+            self.peak_workspace_bytes,
+            self.energy_proxy_j,
+            self.accuracy_proxy,
+        )
 
     def dominates(self, other: "CostVector", epsilon: float = 0.0) -> bool:
         """Pareto dominance: no worse in every objective, better in one.
@@ -113,6 +127,7 @@ class CostVector:
             "time_ms": self.time_ms,
             "peak_workspace_bytes": self.peak_workspace_bytes,
             "energy_proxy_j": self.energy_proxy_j,
+            "accuracy_proxy": self.accuracy_proxy,
         }
 
     @classmethod
@@ -121,11 +136,13 @@ class CostVector:
             time_ms=float(document.get("time_ms", 0.0)),
             peak_workspace_bytes=float(document.get("peak_workspace_bytes", 0.0)),
             energy_proxy_j=float(document.get("energy_proxy_j", 0.0)),
+            accuracy_proxy=float(document.get("accuracy_proxy", 0.0)),
         )
 
     def __repr__(self) -> str:
         return (
             f"CostVector(time={self.time_ms:.3f} ms, "
             f"workspace={self.peak_workspace_bytes / 1024.0:.1f} KiB, "
-            f"energy={self.energy_proxy_j * 1e3:.3f} mJ)"
+            f"energy={self.energy_proxy_j * 1e3:.3f} mJ, "
+            f"accuracy_loss={self.accuracy_proxy:.5f})"
         )

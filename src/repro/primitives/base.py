@@ -24,9 +24,9 @@ from typing import TYPE_CHECKING, FrozenSet, Iterable, Optional, Tuple
 
 import numpy as np
 
-from repro.graph.scenario import ConvScenario
+from repro.graph.scenario import DTYPES, ConvScenario
 from repro.layouts.layout import CHW, Layout
-from repro.layouts.tensor import LayoutTensor
+from repro.layouts.tensor import LayoutTensor, fp16_round_trip, quantize_symmetric
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
     from repro.cost.platform import Platform
@@ -100,7 +100,19 @@ class ConvPrimitive:
         platforms missing any required feature or exhibiting any excluded
         one (e.g. the row-streaming 1D Winograd/FFT forms do not exist on
         ``simt`` machines).  Both default to empty — available everywhere.
+    supported_dtypes:
+        The numeric precisions this routine implements.  Defaults to all of
+        them; families whose algorithm cannot run below fp32 restrict the
+        set, either per instance (this argument) or for a whole family with
+        a class-level ``supported_dtypes`` declaration (FFT declines int8 —
+        the spectral domain stays float — see
+        :class:`~repro.primitives.fft._FFTBase`).  :meth:`supports` declines
+        any scenario whose dtype is not in the set, so cost tables never
+        price an impossible (primitive, precision) pairing.
     """
+
+    #: Class-level default; subclasses may narrow it for the whole family.
+    supported_dtypes: FrozenSet[str] = frozenset(DTYPES)
 
     def __init__(
         self,
@@ -111,6 +123,7 @@ class ConvPrimitive:
         vector_factor: int = 1,
         requires_features: Iterable[str] = (),
         excluded_features: Iterable[str] = (),
+        supported_dtypes: Optional[Iterable[str]] = None,
     ) -> None:
         if vector_factor < 1:
             raise ValueError("vector_factor must be >= 1")
@@ -121,6 +134,12 @@ class ConvPrimitive:
         self.vector_factor = vector_factor
         self.requires_features: FrozenSet[str] = frozenset(requires_features)
         self.excluded_features: FrozenSet[str] = frozenset(excluded_features)
+        if supported_dtypes is not None:
+            # An explicit argument narrows (or widens) the class declaration.
+            self.supported_dtypes = frozenset(supported_dtypes)
+        unknown = self.supported_dtypes - set(DTYPES)
+        if unknown:
+            raise ValueError(f"unknown dtypes {sorted(unknown)}; valid: {DTYPES}")
 
     # -- capability -------------------------------------------------------------
 
@@ -134,8 +153,14 @@ class ConvPrimitive:
         checks); passing a platform additionally applies the capability
         gating of :attr:`requires_features` / :attr:`excluded_features`, so
         cost tables never price a variant the platform does not offer.
+        The scenario's dtype is part of the platform-independent question:
+        a routine that does not implement the precision declines outright.
         """
-        return self.available_on(platform)
+        return self.supports_dtype(scenario.dtype) and self.available_on(platform)
+
+    def supports_dtype(self, dtype: str) -> bool:
+        """Whether this routine has a compute path at the given precision."""
+        return dtype in self.supported_dtypes
 
     def available_on(self, platform: Optional["Platform"]) -> bool:
         """Whether this primitive exists at all on the given platform."""
@@ -234,36 +259,68 @@ class ConvPrimitive:
                 f"kernel shape {kernel.shape} does not match scenario kernel "
                 f"shape {scenario.kernel_shape}"
             )
+        out_dtype = tensor.dtype if tensor.dtype.kind == "f" else np.float32
         if tensor.batch is not None:
             if tensor.batch != scenario.batch:
                 raise ValueError(
                     f"input tensor batch {tensor.batch} does not match "
                     f"scenario batch {scenario.batch}"
                 )
-            out_nchw = self._run_batched(tensor.to_nchw(), kernel, scenario.per_image)
+            out_nchw = self._run_precision(
+                tensor.to_nchw(), kernel, scenario,
+                lambda x, k: self._run_batched(x, k, scenario.per_image),
+            )
             expected_batched = scenario.batched_output_shape
             if out_nchw.shape != expected_batched:
                 raise RuntimeError(
                     f"{self.name} produced shape {out_nchw.shape}, expected {expected_batched}"
                 )
             return LayoutTensor.from_nchw(
-                out_nchw.astype(tensor.dtype, copy=False), self.output_layout
+                out_nchw.astype(out_dtype, copy=False), self.output_layout
             )
         if scenario.batch != 1:
             raise ValueError(
                 f"scenario has batch {scenario.batch} but the input tensor is "
                 "not batched; build it with LayoutTensor.from_nchw"
             )
-        x_chw = tensor.to_chw()
-        out_chw = self._run_grouped(x_chw, kernel, scenario)
+        out_chw = self._run_precision(
+            tensor.to_chw(), kernel, scenario,
+            lambda x, k: self._run_grouped(x, k, scenario),
+        )
         expected = scenario.output_shape
         if out_chw.shape != expected:
             raise RuntimeError(
                 f"{self.name} produced shape {out_chw.shape}, expected {expected}"
             )
-        return LayoutTensor.from_chw(out_chw.astype(tensor.dtype, copy=False), self.output_layout)
+        return LayoutTensor.from_chw(out_chw.astype(out_dtype, copy=False), self.output_layout)
 
     # -- helpers for subclasses ----------------------------------------------------
+
+    def _run_precision(self, x, kernel, scenario: ConvScenario, run) -> np.ndarray:
+        """Dispatch the convolution at the scenario's precision.
+
+        Every family's ``_compute`` path is value-polymorphic (it accumulates
+        in float64), so reduced precision is applied at the operand level —
+        exactly how the quantized kernels it models work:
+
+        * ``fp16``: operands are rounded to half precision, accumulation
+          stays wide (fp16 FMA units accumulate in fp32).
+        * ``int8``: symmetric per-tensor quantization of activations and
+          weights; the integer-valued products are accumulated exactly (an
+          int32 accumulator — float64 holds integer sums below 2**53 without
+          rounding), then rescaled by the two tensor scales.  Transform
+          families (Winograd) run their fractional transforms over the
+          quantized operands, which is where their extra modelled accuracy
+          loss comes from.
+        """
+        if scenario.dtype == "fp16":
+            return run(fp16_round_trip(x), fp16_round_trip(kernel))
+        if scenario.dtype == "int8":
+            qx, x_scale = quantize_symmetric(x)
+            qk, k_scale = quantize_symmetric(kernel)
+            acc = run(qx.astype(np.float64), qk.astype(np.float64))
+            return acc * (x_scale * k_scale)
+        return run(x, kernel)
 
     def _run_batched(
         self, x_nchw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario
@@ -322,6 +379,7 @@ class ConvPrimitive:
             m=group_m,
             padding=0,
             groups=1,
+            dtype=inner.dtype,
         )
         outputs = []
         for g in range(scenario.groups):

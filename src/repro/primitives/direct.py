@@ -87,8 +87,9 @@ class DirectLoopPrimitive(ConvPrimitive):
 
     def supports(self, scenario: ConvScenario, platform=None) -> bool:
         # The direct loop nest handles every scenario, including strided and
-        # depthwise ones (the channel loop simply collapses per group).
-        return self.available_on(platform)
+        # depthwise ones (the channel loop simply collapses per group), at
+        # every precision (the MAC loop is the textbook int8/fp16 kernel).
+        return self.supports_dtype(scenario.dtype) and self.available_on(platform)
 
     def _compute_depthwise(self, x_chw: np.ndarray, kernel: np.ndarray, scenario: ConvScenario) -> np.ndarray:
         """Depthwise form of the loop nest: no channel reduction, vectorized per map."""

@@ -37,6 +37,12 @@ def _fft_length(size: int) -> int:
 class _FFTBase(ConvPrimitive):
     """Shared capability and trait structure of the fft family."""
 
+    #: The spectral domain stays float: integer operands stop being integers
+    #: after the forward transform, so there is no int8 FFT kernel to offer.
+    #: fp16 is fine — the spectra are computed in float regardless, only the
+    #: operand storage (and hence traffic and lane packing) narrows.
+    supported_dtypes = frozenset({"fp32", "fp16"})
+
     def supports(self, scenario: ConvScenario, platform=None) -> bool:
         # Strided convolution would waste most of the transformed output;
         # like the paper's implementation we only offer unit stride.  Depthwise
@@ -47,6 +53,7 @@ class _FFTBase(ConvPrimitive):
         return (
             scenario.stride == 1
             and not scenario.is_depthwise
+            and self.supports_dtype(scenario.dtype)
             and self.available_on(platform)
         )
 

@@ -49,6 +49,7 @@ class _Kn2Base(ConvPrimitive):
         return (
             scenario.stride == 1
             and not scenario.is_depthwise
+            and self.supports_dtype(scenario.dtype)
             and self.available_on(platform)
         )
 

@@ -153,9 +153,14 @@ class _WinogradBase(ConvPrimitive):
         return self.tile + self.kernel_size - 1
 
     def supports(self, scenario: ConvScenario, platform=None) -> bool:
+        # Every precision is offered, int8 included: the fractional tile
+        # transforms run over the quantized operands, which loses more
+        # accuracy than GEMM-family int8 — the cost model charges that as a
+        # larger modelled accuracy penalty rather than declining outright.
         return (
             scenario.k == self.kernel_size
             and scenario.stride == 1
+            and self.supports_dtype(scenario.dtype)
             and self.available_on(platform)
         )
 

@@ -209,7 +209,10 @@ class NetworkExecutor:
             elif isinstance(layer, ConvLayer):
                 primitive = self.library.get(decision.primitive)
                 kernel = self.weights.conv_weights(layer.name)
-                scenario = self._scenarios[layer.name]
+                # The plan's dtype selects the primitive's compute path:
+                # quantized plans run their layers through the int8/fp16
+                # execution paths the selection was priced for.
+                scenario = self._scenarios[layer.name].with_dtype(self.plan.dtype)
                 if batched:
                     scenario = scenario.with_batch(batch)
                 output = primitive.execute(inputs[0], kernel, scenario)

@@ -25,7 +25,9 @@ via the process-wide :func:`repro.pbqp.solver.solve_count`.
 
 from __future__ import annotations
 
+import functools
 import json
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -202,6 +204,95 @@ class DocumentCache:
 
 
 # ---------------------------------------------------------------------------
+# The disk document tier
+# ---------------------------------------------------------------------------
+#
+# Plan documents are persisted as JSON beside the cost store (under
+# ``<cache_dir>/plans/``), one file per (model, platform, strategy, threads,
+# batch, dtype) combination.  The tier closes the gap process-pool warming
+# left open: a worker process can only hand results back through the disk, so
+# the daemon consults this tier on a DocumentCache miss *before* solving —
+# a process-warmed combination is then served with zero in-daemon solves.
+
+#: Subdirectory of the cache dir holding persisted plan documents.
+PLAN_DOCUMENT_DIR = "plans"
+
+
+def build_plan_document(
+    session: Session,
+    model: str,
+    platform: str,
+    strategy: str = "pbqp",
+    threads: int = 1,
+    batch: int = 1,
+    dtype: str = "fp32",
+) -> dict:
+    """The canonical ``/v1/plan`` response document (used by daemon and warmers).
+
+    The embedded ``"plan"`` value is exactly
+    :func:`repro.cost.serialize.plan_to_dict` of the session's plan, so a
+    service response is byte-identical (after canonical JSON dumping) to a
+    direct :meth:`Session.plan` call — whether it was built in the daemon or
+    by a warming worker process.
+    """
+    from repro.cost.serialize import plan_to_dict
+
+    plan = session.plan(
+        model, platform, strategy=strategy, threads=threads, batch=batch, dtype=dtype
+    )
+    result = plan.result
+    return {
+        "format": SERVICE_FORMAT,
+        "model": result.model,
+        "platform": result.platform,
+        "strategy": result.strategy,
+        "threads": result.threads,
+        "batch": result.batch,
+        "dtype": result.dtype,
+        "total_ms": result.total_ms,
+        "per_image_ms": result.per_image_ms,
+        "plan": plan_to_dict(plan.network_plan),
+    }
+
+
+def plan_document_path(cache_dir: str, job) -> str:
+    """Where one warm job's plan document lives on disk (a stable, flat name)."""
+    name = (
+        f"{job.model}_{job.platform}_{job.strategy}"
+        f"_{job.threads}t_b{job.batch}_{job.dtype}.json"
+    )
+    return os.path.join(cache_dir, PLAN_DOCUMENT_DIR, name)
+
+
+def write_plan_document(cache_dir: str, document: dict, job) -> str:
+    """Persist one plan document atomically; returns its path."""
+    path = plan_document_path(cache_dir, job)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, sort_keys=True)
+    os.replace(tmp, path)
+    return path
+
+
+def read_plan_document(cache_dir: str, job) -> Optional[dict]:
+    """Load one persisted plan document, or ``None`` when absent/unreadable.
+
+    A corrupt or foreign-format file is treated as a miss (the daemon simply
+    rebuilds and overwrites), never as an error.
+    """
+    path = plan_document_path(cache_dir, job)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(document, dict) or document.get("format") != SERVICE_FORMAT:
+        return None
+    return document
+
+
+# ---------------------------------------------------------------------------
 # The application
 # ---------------------------------------------------------------------------
 
@@ -239,12 +330,25 @@ class PlannerApp:
         self.metrics = metrics if metrics is not None else Metrics()
         self.documents = DocumentCache()
         self.endpoints = ENDPOINTS
+        self.cache_dir = cache_dir
         self.started = time.time()
         self._started_monotonic = time.monotonic()
-        from repro.service.workers import WarmingQueue
+        from repro.service.workers import WarmingQueue, warm_plan_job
 
+        if warm_executor == "process":
+            # A worker process cannot reach the daemon's in-memory caches; it
+            # hands results back through the disk document tier, which needs
+            # a shared directory.
+            if cache_dir is None:
+                raise ValueError(
+                    "process warming requires cache_dir: worker processes hand "
+                    "plan documents back through the disk tier"
+                )
+            run_job = functools.partial(warm_plan_job, cache_dir)
+        else:
+            run_job = self._warm_one
         self.warming = WarmingQueue(
-            self._warm_one,
+            run_job,
             metrics=self.metrics,
             kind=warm_executor,
             max_workers=warm_workers,
@@ -259,35 +363,41 @@ class PlannerApp:
         strategy: str = "pbqp",
         threads: int = 1,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> Tuple[dict, bool]:
         """The response document for one plan request, cached by its key.
 
-        The embedded ``"plan"`` value is exactly
-        :func:`repro.cost.serialize.plan_to_dict` of the session's plan, so a
-        service response is byte-identical (after canonical JSON dumping) to
-        a direct :meth:`Session.plan` call.
+        On a :class:`DocumentCache` miss the disk document tier is consulted
+        *before* solving: a combination warmed by a worker process (which can
+        only hand results back through the disk) is served without a single
+        in-daemon PBQP solve.  Freshly built documents are written through to
+        the tier, so a later daemon over the same ``cache_dir`` skips the
+        solve too.
         """
-        from repro.cost.serialize import plan_to_dict
+        from repro.service.workers import WarmJob
 
-        key = ("plan", model, platform, strategy, threads, batch)
+        key = ("plan", model, platform, strategy, threads, batch, dtype)
+        job = WarmJob(model, platform, strategy, threads, batch, dtype)
 
         def build() -> dict:
+            if self.cache_dir is not None:
+                document = read_plan_document(self.cache_dir, job)
+                if document is not None:
+                    self.metrics.inc("plan_disk_hits")
+                    return document
             with self.metrics.time("plan_build_ms"):
-                plan = self.session.plan(
-                    model, platform, strategy=strategy, threads=threads, batch=batch
+                document = build_plan_document(
+                    self.session,
+                    model,
+                    platform,
+                    strategy=strategy,
+                    threads=threads,
+                    batch=batch,
+                    dtype=dtype,
                 )
-            result = plan.result
-            return {
-                "format": SERVICE_FORMAT,
-                "model": result.model,
-                "platform": result.platform,
-                "strategy": result.strategy,
-                "threads": result.threads,
-                "batch": result.batch,
-                "total_ms": result.total_ms,
-                "per_image_ms": result.per_image_ms,
-                "plan": plan_to_dict(plan.network_plan),
-            }
+            if self.cache_dir is not None:
+                write_plan_document(self.cache_dir, document, job)
+            return document
 
         document, cached = self.documents.get_or_build(key, build)
         self.metrics.inc("plan_cache_hits" if cached else "plan_cache_misses")
@@ -301,6 +411,7 @@ class PlannerApp:
             strategy=job.strategy,
             threads=job.threads,
             batch=job.batch,
+            dtype=job.dtype,
         )
 
     def start_warming(
@@ -310,8 +421,9 @@ class PlannerApp:
         batches: Sequence[int] = (1,),
         strategies: Sequence[str] = ("pbqp",),
         threads: Sequence[int] = (1,),
+        dtypes: Sequence[str] = ("fp32",),
     ) -> int:
-        """Enqueue the zoo x platform x batch grid for background warming.
+        """Enqueue the zoo x platform x batch x dtype grid for background warming.
 
         Returns the number of jobs enqueued.  Foreground requests are never
         blocked: the queue drains on its own executor, and a request for a
@@ -325,6 +437,7 @@ class PlannerApp:
             strategies=strategies,
             threads=threads,
             batches=batches,
+            dtypes=dtypes,
         )
         return self.warming.enqueue(jobs)
 

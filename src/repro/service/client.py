@@ -96,6 +96,7 @@ class PlannerClient:
         strategy: str = "pbqp",
         threads: int = 1,
         batch: int = 1,
+        dtype: str = "fp32",
     ) -> dict:
         return self._call(
             "POST",
@@ -106,6 +107,7 @@ class PlannerClient:
                 "strategy": strategy,
                 "threads": threads,
                 "batch": batch,
+                "dtype": dtype,
             },
         )
 
@@ -115,6 +117,7 @@ class PlannerClient:
         platform: str,
         threads: int = 1,
         batch: int = 1,
+        dtype: str = "fp32",
         strategies: Optional[Sequence[str]] = None,
         include_frameworks: bool = True,
     ) -> dict:
@@ -123,6 +126,7 @@ class PlannerClient:
             "platform": platform,
             "threads": threads,
             "batch": batch,
+            "dtype": dtype,
             "include_frameworks": include_frameworks,
         }
         if strategies is not None:
@@ -138,6 +142,7 @@ class PlannerClient:
         seed: int = 0,
         budget_steps: Optional[int] = None,
         constraints: Optional[Dict[str, float]] = None,
+        dtypes: Optional[Sequence[str]] = None,
         include_plans: bool = False,
     ) -> dict:
         body: Dict[str, Any] = {
@@ -150,6 +155,8 @@ class PlannerClient:
         }
         if budget_steps is not None:
             body["budget_steps"] = budget_steps
+        if dtypes is not None:
+            body["dtypes"] = list(dtypes)
         if constraints is not None:
             body["constraints"] = dict(constraints)
         return self._call("POST", "/v1/frontier", body)

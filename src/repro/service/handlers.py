@@ -21,6 +21,7 @@ from typing import Dict, Tuple
 
 from repro.core.strategies import registered_names
 from repro.cost.platform import PLATFORMS, list_platforms
+from repro.graph.scenario import DTYPES
 from repro.models import MODEL_BUILDERS
 from repro.multiobj.vector import OBJECTIVES
 from repro.pbqp.solver import solve_count
@@ -61,6 +62,10 @@ _STRATEGY = Field(
 )
 _THREADS = Field("threads", "integer", default=1, minimum=1)
 _BATCH = Field("batch", "integer", default=1, minimum=1)
+_DTYPE = Field(
+    "dtype", "string", default="fp32", choices=lambda: DTYPES,
+    description="numeric precision the plan is priced and executed in",
+)
 
 #: Valid ``{objective}_max`` keys of a frontier constraints object.
 _CONSTRAINT_KEYS = tuple(f"{objective}_max" for objective in OBJECTIVES)
@@ -72,7 +77,7 @@ _CONSTRAINT_KEYS = tuple(f"{objective}_max" for objective in OBJECTIVES)
 @register_endpoint(
     "POST",
     "/v1/plan",
-    fields=(_MODEL, _PLATFORM, _STRATEGY, _THREADS, _BATCH),
+    fields=(_MODEL, _PLATFORM, _STRATEGY, _THREADS, _BATCH, _DTYPE),
     description="select one plan (cached; warm requests perform zero solves)",
 )
 def handle_plan(app: PlannerApp, params: Params) -> dict:
@@ -83,6 +88,7 @@ def handle_plan(app: PlannerApp, params: Params) -> dict:
             strategy=params["strategy"],
             threads=params["threads"],
             batch=params["batch"],
+            dtype=params["dtype"],
         )
     except ValueError as exc:
         # Strategy gating (e.g. mkldnn on a NEON platform) is a client error.
@@ -98,6 +104,7 @@ def handle_plan(app: PlannerApp, params: Params) -> dict:
         _PLATFORM,
         _THREADS,
         _BATCH,
+        _DTYPE,
         Field("strategies", "array", description="subset of strategies to evaluate"),
         Field("include_frameworks", "boolean", default=True),
     ),
@@ -120,6 +127,7 @@ def handle_compare(app: PlannerApp, params: Params) -> dict:
         params["platform"],
         params["threads"],
         params["batch"],
+        params["dtype"],
         tuple(strategies) if strategies is not None else None,
         params["include_frameworks"],
     )
@@ -131,6 +139,7 @@ def handle_compare(app: PlannerApp, params: Params) -> dict:
                 params["platform"],
                 threads=params["threads"],
                 batch=params["batch"],
+                dtype=params["dtype"],
                 strategies=strategies,
                 include_frameworks=params["include_frameworks"],
             )
@@ -142,6 +151,7 @@ def handle_compare(app: PlannerApp, params: Params) -> dict:
             "platform": report.platform,
             "threads": report.threads,
             "batch": report.batch,
+            "dtype": report.dtype,
             "baseline": report.baseline.strategy,
             "best": report.best.strategy,
             "results": [
@@ -168,6 +178,11 @@ def handle_compare(app: PlannerApp, params: Params) -> dict:
         _BATCH,
         Field("seed", "integer", default=0, minimum=0),
         Field("budget_steps", "integer", minimum=1),
+        Field(
+            "dtypes",
+            "array",
+            description="precisions spanned by the front (default: all registered)",
+        ),
         Field("constraints", "object", description="{objective}_max bounds"),
         Field(
             "include_plans",
@@ -179,6 +194,15 @@ def handle_compare(app: PlannerApp, params: Params) -> dict:
     description="build the multi-objective Pareto frontier of plans",
 )
 def handle_frontier(app: PlannerApp, params: Params) -> dict:
+    dtypes = params["dtypes"]
+    if dtypes is not None:
+        bad = [name for name in dtypes if name not in DTYPES]
+        if bad:
+            raise ApiError(
+                400,
+                "unknown_dtype",
+                f"unknown dtypes {bad}; valid: {', '.join(DTYPES)}",
+            )
     constraints = params["constraints"]
     if constraints is not None:
         bad = sorted(set(constraints) - set(_CONSTRAINT_KEYS))
@@ -205,6 +229,7 @@ def handle_frontier(app: PlannerApp, params: Params) -> dict:
         params["batch"],
         params["seed"],
         params["budget_steps"],
+        tuple(dtypes) if dtypes is not None else None,
         tuple(sorted(constraints.items())) if constraints else None,
         params["include_plans"],
     )
@@ -221,6 +246,7 @@ def handle_frontier(app: PlannerApp, params: Params) -> dict:
                 constraints=dict(constraints) if constraints else None,
                 seed=params["seed"],
                 budget_steps=params["budget_steps"] or DEFAULT_BUDGET_STEPS,
+                dtypes=tuple(dtypes) if dtypes is not None else None,
             )
         points = [
             {"generator": point.generator, "vector": point.vector.to_dict()}
@@ -233,6 +259,7 @@ def handle_frontier(app: PlannerApp, params: Params) -> dict:
             "threads": frontier.threads,
             "batch": frontier.batch,
             "seed": frontier.seed,
+            "dtypes": list(dtypes) if dtypes is not None else list(DTYPES),
             "candidates_evaluated": frontier.candidates_evaluated,
             "dominated_count": frontier.dominated_count,
             "points": points,

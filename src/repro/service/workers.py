@@ -71,13 +71,14 @@ def executor(kind: str = "thread", max_workers: Optional[int] = None):
 
 @dataclass(frozen=True)
 class WarmJob:
-    """One (model, platform, strategy, threads, batch) combination to warm."""
+    """One (model, platform, strategy, threads, batch, dtype) combination to warm."""
 
     model: str
     platform: str
     strategy: str = "pbqp"
     threads: int = 1
     batch: int = 1
+    dtype: str = "fp32"
 
 
 def grid_jobs(
@@ -86,8 +87,9 @@ def grid_jobs(
     strategies: Sequence[str] = ("pbqp",),
     threads: Sequence[int] = (1,),
     batches: Sequence[int] = (1,),
+    dtypes: Sequence[str] = ("fp32",),
 ) -> List[WarmJob]:
-    """The zoo x platform x strategy x threads x batch warming grid.
+    """The zoo x platform x strategy x threads x batch x dtype warming grid.
 
     ``models`` defaults to the whole model zoo and ``platforms`` to every
     currently registered platform — the full grid the ROADMAP's serving item
@@ -101,17 +103,23 @@ def grid_jobs(
         list(platforms) if platforms is not None else list_platforms()
     )
     return [
-        WarmJob(model, platform, strategy, thread_count, batch)
+        WarmJob(model, platform, strategy, thread_count, batch, dtype)
         for model in chosen_models
         for platform in chosen_platforms
         for strategy in strategies
         for thread_count in threads
         for batch in batches
+        for dtype in dtypes
     ]
 
 
 def warm_store_entry(
-    cache_dir: str, model: str, platform: str, threads: int = 1, batch: int = 1
+    cache_dir: str,
+    model: str,
+    platform: str,
+    threads: int = 1,
+    batch: int = 1,
+    dtype: str = "fp32",
 ) -> str:
     """Populate one cost-store entry from a *worker process*.
 
@@ -123,11 +131,38 @@ def warm_store_entry(
     from repro.api import Session
 
     session = Session(cache_dir=cache_dir)
-    context = session.context_for(model, platform, threads=threads, batch=batch)
+    context = session.context_for(model, platform, threads=threads, batch=batch, dtype=dtype)
     store = session.store
     assert store is not None  # Session(cache_dir=...) always wraps a store
     del context
-    return f"{model}@{platform}/{threads}t/b{batch}"
+    return f"{model}@{platform}/{threads}t/b{batch}/{dtype}"
+
+
+def warm_plan_job(cache_dir: str, job: WarmJob) -> str:
+    """Plan one warm job in a *worker process*, persisting the response document.
+
+    Module-level (hence picklable) so a ``"process"`` warming executor can
+    solve in true parallel: the worker builds its own session over the shared
+    ``cache_dir``, plans (populating the cost store as a side effect), and
+    writes the finished plan document into the disk document tier — which the
+    daemon consults on a :class:`~repro.service.app.DocumentCache` miss, so a
+    process-warmed combination is served with zero solves in the daemon
+    process.  Returns the document path for logging.
+    """
+    from repro.api import Session
+    from repro.service.app import build_plan_document, write_plan_document
+
+    session = Session(cache_dir=cache_dir)
+    document = build_plan_document(
+        session,
+        job.model,
+        job.platform,
+        strategy=job.strategy,
+        threads=job.threads,
+        batch=job.batch,
+        dtype=job.dtype,
+    )
+    return write_plan_document(cache_dir, document, job)
 
 
 # ---------------------------------------------------------------------------

@@ -8,8 +8,10 @@ from repro.models import (
     build_alexnet,
     build_googlenet,
     build_mobilenet_v1,
+    build_mobilenet_v2,
     build_model,
     build_resnet18,
+    build_resnet50,
     build_vgg,
 )
 from repro.models.googlenet import INCEPTION_SPECS
@@ -275,3 +277,89 @@ class TestMobileNetV1:
             build_mobilenet_v1(input_size=90)
         with pytest.raises(ValueError):
             build_mobilenet_v1(width_multiplier=0.0)
+
+
+class TestResNet50:
+    def test_conv_layer_count(self):
+        # 1 stem + 16 bottlenecks x 3 convolutions + 4 projection shortcuts.
+        assert len(build_resnet50().conv_layers()) == 53
+
+    def test_published_feature_map_pyramid(self):
+        shapes = build_resnet50().infer_shapes()
+        assert shapes["pool1"] == (64, 56, 56)
+        assert shapes["conv2_3/relu3"] == (256, 56, 56)
+        assert shapes["conv3_4/relu3"] == (512, 28, 28)
+        assert shapes["conv4_6/relu3"] == (1024, 14, 14)
+        assert shapes["conv5_3/relu3"] == (2048, 7, 7)
+        assert shapes["pool5"] == (2048, 1, 1)
+
+    def test_residual_joins_and_projections(self):
+        network = build_resnet50()
+        adds = [layer for layer in network.layers() if isinstance(layer, EltwiseAddLayer)]
+        assert len(adds) == 16
+        downsamples = [
+            layer.name for layer in network.conv_layers() if "downsample" in layer.name
+        ]
+        # Every stage's first block projects (conv2_1 changes width at stride 1).
+        assert downsamples == [
+            "conv2_1/downsample",
+            "conv3_1/downsample",
+            "conv4_1/downsample",
+            "conv5_1/downsample",
+        ]
+
+    def test_total_macs_near_published(self):
+        # ResNet-50 convolutions are ~4.1 GMACs.
+        gmacs = build_resnet50().total_conv_macs() / 1e9
+        assert 3.8 < gmacs < 4.3
+
+    def test_scaled_variant_keeps_structure(self):
+        scaled = build_resnet50(input_size=64, base_width=8)
+        assert len(scaled.conv_layers()) == 53
+        assert scaled.infer_shapes()["pool5"] == (256, 1, 1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            build_resnet50(input_size=100)
+        with pytest.raises(ValueError):
+            build_resnet50(base_width=0)
+
+
+class TestMobileNetV2:
+    def test_conv_layer_count(self):
+        # Stem + head + 17 inverted residuals (16 with expansion, 1 without).
+        assert len(build_mobilenet_v2().conv_layers()) == 52
+
+    def test_published_feature_map_pyramid(self):
+        shapes = build_mobilenet_v2().infer_shapes()
+        assert shapes["conv1"] == (32, 112, 112)
+        assert shapes["block1/project"] == (16, 112, 112)
+        assert shapes["block17/project"] == (320, 7, 7)
+        assert shapes["conv_head"] == (1280, 7, 7)
+        assert shapes["pool8"] == (1280, 1, 1)
+
+    def test_residual_joins_only_where_shapes_allow(self):
+        network = build_mobilenet_v2()
+        adds = [layer for layer in network.layers() if isinstance(layer, EltwiseAddLayer)]
+        # Table 2 of the publication: n-1 joins per stage with n repeats.
+        assert len(adds) == 10
+
+    def test_depthwise_interior_is_expanded(self):
+        network = build_mobilenet_v2()
+        dw = network.layer("block2/dw")
+        assert dw.groups == dw.out_channels == 96  # 16 in-channels x t=6
+
+    def test_total_macs_near_published(self):
+        # MobileNet-v2 convolutions are ~300 MMACs.
+        mmacs = build_mobilenet_v2().total_conv_macs() / 1e6
+        assert 270 < mmacs < 330
+
+    def test_scaled_variant_keeps_structure(self):
+        scaled = build_mobilenet_v2(input_size=64, width_multiplier=0.125)
+        assert len(scaled.conv_layers()) == 52
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            build_mobilenet_v2(input_size=100)
+        with pytest.raises(ValueError):
+            build_mobilenet_v2(width_multiplier=0)

@@ -40,12 +40,13 @@ class TestCostVector:
 
     def test_total_is_sequential_composition(self):
         vectors = [
-            CostVector(1.0, 10.0, 0.1),
+            CostVector(1.0, 10.0, 0.1, accuracy_proxy=1e-3),
             CostVector(2.0, 30.0, 0.2),
-            CostVector(3.0, 20.0, 0.3),
+            CostVector(3.0, 20.0, 0.3, accuracy_proxy=2e-3),
         ]
         total = CostVector.total(vectors)
-        assert total.as_tuple() == pytest.approx((6.0, 30.0, 0.6))
+        # Times, energies and accuracy losses add; peak workspace is a max.
+        assert total.as_tuple() == pytest.approx((6.0, 30.0, 0.6, 3e-3))
 
     def test_dominance(self):
         better = CostVector(1.0, 10.0, 0.1)

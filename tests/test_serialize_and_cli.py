@@ -56,7 +56,7 @@ class TestCostTableSerialization:
         path = tmp_path / "tables.json"
         save_cost_tables(context.tables, path)
         document = json.loads(path.read_text())
-        assert document["format"] == "repro/cost-tables/v2"
+        assert document["format"] == "repro/cost-tables/v3"
 
     def test_wrong_format_rejected(self, dt_graph):
         with pytest.raises(ValueError):

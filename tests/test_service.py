@@ -89,6 +89,23 @@ class TestEnvelopes:
 
 
 class TestPlanEndpoint:
+    def test_dtype_parameter_is_honoured(self, service):
+        app, client = service
+        document = client.plan("alexnet", "intel-haswell", dtype="int8")
+        assert document["dtype"] == "int8"
+        direct = app.session.plan("alexnet", "intel-haswell", dtype="int8")
+        assert canonical(document["plan"]) == canonical(
+            plan_to_dict(direct.network_plan)
+        )
+        assert document["plan"]["dtype"] == "int8"
+
+    def test_unknown_dtype_is_a_validation_error(self, service):
+        _, client = service
+        with pytest.raises(ServiceError) as excinfo:
+            client.plan("alexnet", "intel-haswell", dtype="bf16")
+        assert excinfo.value.status == 400
+        assert any(d["field"] == "dtype" for d in excinfo.value.details)
+
     def test_plan_matches_direct_session_byte_for_byte(self, service):
         app, client = service
         document = client.plan("alexnet", "intel-haswell")
@@ -369,10 +386,97 @@ class TestWarming:
             future = pool.submit(
                 warm_store_entry, str(tmp_path), "alexnet", "intel-haswell"
             )
-            assert future.result(timeout=300) == "alexnet@intel-haswell/1t/b1"
+            assert future.result(timeout=300) == "alexnet@intel-haswell/1t/b1/fp32"
         # The worker process persisted the tables into the shared store tier.
         store = CostStore(tmp_path)
         assert store.stats().entries == 1
+
+
+class TestDiskDocumentTier:
+    """Satellite of the precision PR: process-pool warming warms *responses*.
+
+    A worker process can only hand results back through the disk, so the
+    daemon consults the document tier under its cache dir on a DocumentCache
+    miss — a process-warmed combination must be served with zero in-daemon
+    PBQP solves.
+    """
+
+    def test_process_warmed_daemon_serves_plan_with_zero_solves(self, tmp_path):
+        warmer = PlannerApp(
+            cache_dir=str(tmp_path), warm_executor="process", warm_workers=2
+        )
+        try:
+            enqueued = warmer.start_warming(
+                models=["alexnet"], platforms=["intel-haswell"]
+            )
+            assert enqueued == 1
+            assert warmer.warming.join(timeout=300)
+            assert warmer.warming.state() == {
+                "executor": "process",
+                "pending": 0,
+                "completed": 1,
+                "failed": 0,
+                "running": True,
+            }
+        finally:
+            warmer.close()
+        # A fresh daemon over the same cache dir: its DocumentCache is cold,
+        # but the worker process left the document in the disk tier.
+        daemon = PlannerApp(cache_dir=str(tmp_path))
+        try:
+            before = solve_count()
+            status, payload = daemon.handle(
+                "POST", "/v1/plan", {"model": "alexnet", "platform": "intel-haswell"}
+            )
+            assert status == 200
+            assert solve_count() == before  # zero solves in the daemon process
+            assert payload["model"] == "alexnet" and payload["dtype"] == "fp32"
+            assert daemon.metrics.snapshot()["counters"]["plan_disk_hits"] == 1
+            # The worker-built document is the one a direct build would produce.
+            direct = Session().plan("alexnet", "intel-haswell")
+            assert canonical(payload["plan"]) == canonical(
+                plan_to_dict(direct.network_plan)
+            )
+        finally:
+            daemon.close()
+
+    def test_daemon_writes_documents_through_to_the_tier(self, tmp_path):
+        first = PlannerApp(cache_dir=str(tmp_path))
+        try:
+            first.plan_document("alexnet", "intel-haswell", dtype="fp16")
+        finally:
+            first.close()
+        second = PlannerApp(cache_dir=str(tmp_path))
+        try:
+            before = solve_count()
+            document, cached = second.plan_document(
+                "alexnet", "intel-haswell", dtype="fp16"
+            )
+            assert solve_count() == before and cached is False
+            assert document["dtype"] == "fp16"
+        finally:
+            second.close()
+
+    def test_corrupt_tier_entry_is_a_miss_not_an_error(self, tmp_path):
+        from repro.service.app import plan_document_path
+        from repro.service.workers import WarmJob
+
+        path = plan_document_path(str(tmp_path), WarmJob("alexnet", "intel-haswell"))
+        import os
+
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        app = PlannerApp(cache_dir=str(tmp_path))
+        try:
+            document, _ = app.plan_document("alexnet", "intel-haswell")
+            assert document["model"] == "alexnet"  # rebuilt and overwritten
+        finally:
+            app.close()
+
+    def test_process_warming_requires_a_cache_dir(self):
+        with pytest.raises(ValueError, match="cache_dir"):
+            PlannerApp(warm_executor="process")
 
 
 class TestMetricsUnit:

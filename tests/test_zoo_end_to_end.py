@@ -1,9 +1,10 @@
 """End-to-end acceptance of the residual/depthwise zoo extension.
 
-The executable claims: selection runs end-to-end for ResNet-18 and
-MobileNet-v1 (API and CLI), the PBQP-selected instantiation computes the
-same function as the all-SUM2D reference, and PBQP is at least as fast as
-every single-primitive-family baseline on both networks.  Execution tests
+The executable claims: selection runs end-to-end for the residual and
+depthwise-separable models (API and CLI) — ResNet-18/50 and
+MobileNet-v1/v2 — the PBQP-selected instantiation computes the same
+function as the all-SUM2D reference, and PBQP is at least as fast as every
+single-primitive-family baseline on all four networks.  Execution tests
 use width-scaled builds (identical structure, every layer kind and both
 depthwise stride cases included) to keep the reference execution cheap.
 """
@@ -13,7 +14,12 @@ import pytest
 
 from repro.api import Session, SelectionRequest
 from repro.cli import main
-from repro.models import build_mobilenet_v1, build_resnet18
+from repro.models import (
+    build_mobilenet_v1,
+    build_mobilenet_v2,
+    build_resnet18,
+    build_resnet50,
+)
 
 FAMILY_STRATEGIES = ("direct", "im2", "kn2", "winograd", "fft")
 
@@ -34,6 +40,16 @@ class TestExecutionMatchesReference:
         network = build_mobilenet_v1(input_size=64, width_multiplier=0.125)
         self._check(session, network, strategy)
 
+    @pytest.mark.parametrize("strategy", ["pbqp", "local_optimal"])
+    def test_scaled_resnet50(self, session, strategy):
+        network = build_resnet50(input_size=64, base_width=8)
+        self._check(session, network, strategy)
+
+    @pytest.mark.parametrize("strategy", ["pbqp", "local_optimal"])
+    def test_scaled_mobilenet_v2(self, session, strategy):
+        network = build_mobilenet_v2(input_size=64, width_multiplier=0.125)
+        self._check(session, network, strategy)
+
     @staticmethod
     def _check(session, network, strategy):
         x = np.random.default_rng(2).standard_normal((3, 64, 64)).astype(np.float32)
@@ -45,7 +61,9 @@ class TestExecutionMatchesReference:
 
 
 class TestPBQPDominates:
-    @pytest.mark.parametrize("model", ["resnet18", "mobilenet_v1"])
+    @pytest.mark.parametrize(
+        "model", ["resnet18", "resnet50", "mobilenet_v1", "mobilenet_v2"]
+    )
     @pytest.mark.parametrize("platform", ["intel-haswell", "arm-cortex-a57"])
     def test_full_size_compare(self, session, model, platform):
         report = session.compare(model, platform)
@@ -77,7 +95,9 @@ class TestSelectMany:
 
 
 class TestCLINetworkFlag:
-    @pytest.mark.parametrize("model", ["resnet18", "mobilenet_v1"])
+    @pytest.mark.parametrize(
+        "model", ["resnet18", "resnet50", "mobilenet_v1", "mobilenet_v2"]
+    )
     def test_select_with_network_flag(self, model, capsys):
         assert main(["select", "--network", model]) == 0
         out = capsys.readouterr().out
