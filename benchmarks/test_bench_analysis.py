@@ -1,0 +1,87 @@
+"""Static-analysis benchmark: verifier and lint wall-time over the zoo.
+
+The verifier gates every ``Session.plan`` call and every disk-tier admission
+in the service, so its cost is paid on the planning hot path; this benchmark
+pins it down and tracks it in the ``BENCH_analysis.json`` trajectory.  The
+headline invariants ride along: every freshly planned zoo document verifies
+clean (no false positives), and the ResNet-18 fan-out double-pricing finding
+(the known cost-model blind spot this layer was built to surface) is present
+with a positive quantified delta.
+"""
+
+import re
+
+import pytest
+
+from benchmarks.conftest import emit, record_metric, smoke_networks, smoke_skip
+from repro.analysis.lint import run_lint
+from repro.analysis.plan_verifier import verify_document
+from repro.api import Session
+from repro.cost.serialize import plan_to_dict
+
+NETWORKS = smoke_networks(["alexnet", "vgg-a", "googlenet", "resnet18", "mobilenet_v1"])
+
+PLATFORM = "intel-haswell"
+
+
+@pytest.fixture(scope="module")
+def session(library):
+    return Session(library=library)
+
+
+@pytest.fixture(scope="module")
+def zoo_documents(session):
+    # verify=False: the benchmark times verification separately, below.
+    return {
+        name: plan_to_dict(session.plan(name, PLATFORM, verify=False).network_plan)
+        for name in NETWORKS
+    }
+
+
+def test_verifier_walltime_over_zoo(zoo_documents, benchmark):
+    def verify_all():
+        return [
+            verify_document(doc, source=name)
+            for name, doc in zoo_documents.items()
+        ]
+
+    reports = benchmark.pedantic(verify_all, rounds=5, iterations=1)
+    for name, report in zip(zoo_documents, reports):
+        assert report.ok, f"{name}: {report.summary()}"
+
+    total_ms = benchmark.stats.stats.mean * 1e3
+    record_metric("analysis", "verify_zoo_ms", total_ms)
+    record_metric(
+        "analysis", "verify_per_plan_ms", total_ms / max(1, len(zoo_documents))
+    )
+    emit(
+        f"Static verification — {len(zoo_documents)} zoo plans on {PLATFORM}\n"
+        f"  total          {total_ms:8.2f} ms\n"
+        f"  per plan       {total_ms / max(1, len(zoo_documents)):8.2f} ms"
+    )
+
+
+@smoke_skip
+def test_fanout_finding_on_resnet18(zoo_documents):
+    report = verify_document(zoo_documents["resnet18"], source="resnet18")
+    fanout = [f for f in report.findings if f.rule == "RV140"]
+    assert fanout, "resnet18 pool1 fan-out double-pricing must be detected"
+    deltas = []
+    for finding in fanout:
+        match = re.search(r"double-priced by ([0-9.]+) ms", finding.message)
+        assert match, finding.message
+        deltas.append(float(match.group(1)))
+    assert all(delta > 0 for delta in deltas)
+    record_metric("analysis", "fanout_delta_ms", max(deltas))
+    emit(
+        "Fan-out double-pricing (resnet18, intel-haswell)\n"
+        + "\n".join(f"  {f.location}: {f.message}" for f in fanout)
+    )
+
+
+def test_lint_walltime_over_src(benchmark):
+    report = benchmark.pedantic(lambda: run_lint(["src"]), rounds=3, iterations=1)
+    assert report.ok, report.summary()
+    lint_ms = benchmark.stats.stats.mean * 1e3
+    record_metric("analysis", "lint_src_ms", lint_ms)
+    emit(f"Project lint — src tree\n  total          {lint_ms:8.2f} ms")

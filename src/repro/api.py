@@ -141,7 +141,10 @@ class SelectionResult:
     def from_dict(cls, document: dict, dt_graph: DTGraph) -> "SelectionResult":
         """Rebuild a result from :meth:`to_dict` output (chains resolved via ``dt_graph``)."""
         if document.get("format") != RESULT_FORMAT:
-            raise ValueError(f"unexpected selection-result format {document.get('format')!r}")
+            raise ValueError(
+                f"unexpected selection-result format {document.get('format')!r} "
+                f"(expected {RESULT_FORMAT!r})"
+            )
         return cls(
             model=document["model"],
             platform=document["platform"],
@@ -798,12 +801,33 @@ class Session:
         threads: int = 1,
         batch: int = 1,
         dtype: str = "fp32",
+        verify: bool = True,
     ) -> Plan:
-        """Select and return an executable :class:`Plan` handle."""
+        """Select and return an executable :class:`Plan` handle.
+
+        ``verify`` runs the static plan verifier
+        (:mod:`repro.analysis.plan_verifier`) over the selected plan and
+        raises :class:`~repro.analysis.plan_verifier.PlanVerificationError`
+        if any error-severity finding survives — a buggy strategy or cost
+        provider is caught here, before anything executes.  Pass
+        ``verify=False`` to opt out (e.g. in tight benchmarking loops).
+        """
         result = self.select(
             model, platform, strategy=strategy, threads=threads, batch=batch, dtype=dtype
         )
         _, network = self._resolve_network(model)
+        if verify:
+            from repro.analysis.plan_verifier import raise_for_report, verify_plan
+
+            raise_for_report(
+                verify_plan(
+                    result.plan,
+                    network=network,
+                    library=self.library,
+                    dt_graph=self.dt_graph,
+                    source=f"plan({result.model!r}, {result.platform!r}, {strategy!r})",
+                )
+            )
         return Plan(
             result=result,
             network=network,
@@ -879,13 +903,28 @@ class Session:
         )
 
     def plan_from_file(
-        self, path: Union[str, Path], network: Optional[Network] = None
+        self,
+        path: Union[str, Path],
+        network: Optional[Network] = None,
+        verify: bool = True,
     ) -> Plan:
         """Rebuild an executable :class:`Plan` from a saved plan document.
 
         The network is rebuilt from the model zoo by the plan's recorded
-        network name unless an explicit ``network`` is passed.
+        network name unless an explicit ``network`` is passed.  ``verify``
+        statically checks the raw document first (hand-edited or stale files
+        are refused with a structured
+        :class:`~repro.analysis.plan_verifier.PlanVerificationError` listing
+        every problem at once); pass ``verify=False`` to load it anyway.
         """
+        if verify:
+            from repro.analysis.plan_verifier import raise_for_report, verify_file
+
+            raise_for_report(
+                verify_file(
+                    path, network=network, library=self.library, dt_graph=self.dt_graph
+                )
+            )
         network_plan = load_plan(path, self.dt_graph)
         if network is None:
             _, network = self._resolve_network(network_plan.network_name)

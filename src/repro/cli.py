@@ -1,6 +1,6 @@
 """Command-line interface for the reproduction.
 
-Ten subcommands cover the workflows a downstream user needs:
+Twelve subcommands cover the workflows a downstream user needs:
 
 * ``repro select``  — run one selection strategy for a zoo model on a modelled
   platform (default: the paper's PBQP pipeline) and print (or save) the plan;
@@ -12,6 +12,11 @@ Ten subcommands cover the workflows a downstream user needs:
   workspace, energy proxy) and print it with a workspace-budget sweep;
 * ``repro cache``   — inspect, evict from, or clear a persistent cost-table
   store;
+* ``repro check``   — statically verify saved plan/tables/frontier documents
+  (rule codes ``RV1xx``) without executing them;
+* ``repro lint``    — run the project-specific AST lint (rule codes
+  ``LT2xx``: registry mutation, unseeded random, unsorted JSON, lock
+  discipline);
 * ``repro serve``   — run the planning daemon (``POST /v1/plan`` et al.) over
   a shared thread-safe session, optionally pre-warming the zoo grid;
 * ``repro figures`` — regenerate the full set of whole-network figures;
@@ -269,6 +274,38 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="with --evict: also remove entries older than this many hours",
+    )
+
+    check = subparsers.add_parser(
+        "check",
+        help="statically verify saved plan/tables/frontier documents without "
+        "executing them",
+    )
+    check.add_argument(
+        "paths", nargs="+", metavar="PATH", help="JSON documents to verify"
+    )
+    check.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the full analysis reports as JSON",
+    )
+
+    lint = subparsers.add_parser(
+        "lint", help="run the project-specific AST lint (rules LT2xx)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src/ when present, "
+        "else the installed repro package)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the full analysis report as JSON",
     )
 
     serve = subparsers.add_parser(
@@ -557,6 +594,53 @@ def _command_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_check(args: argparse.Namespace) -> int:
+    """Verify documents; exit 0 clean, 1 on errors, 2 on unreadable input."""
+    import json
+
+    from repro.analysis.plan_verifier import verify_file
+
+    reports = []
+    for path in args.paths:
+        try:
+            reports.append(verify_file(path))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            return 2
+    if args.as_json:
+        print(
+            json.dumps(
+                [report.to_dict() for report in reports], indent=2, sort_keys=True
+            )
+        )
+    else:
+        for report in reports:
+            print(report.summary())
+    return 0 if all(report.ok for report in reports) else 1
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    """Lint sources; exit 0 clean, 1 on findings."""
+    from pathlib import Path
+
+    from repro.analysis.lint import run_lint
+
+    paths = list(args.paths)
+    if not paths:
+        if Path("src").is_dir():
+            paths = ["src"]
+        else:
+            import repro
+
+            paths = [Path(repro.__file__).parent]
+    report = run_lint(paths)
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     # Imported lazily: the service pulls in the HTTP stack and the endpoint
     # registry, which no other subcommand needs.
@@ -655,6 +739,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _command_compare,
         "frontier": _command_frontier,
         "cache": _command_cache,
+        "check": _command_check,
+        "lint": _command_lint,
         "serve": _command_serve,
         "figures": _command_figures,
         "tables": _command_tables,

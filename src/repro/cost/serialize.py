@@ -17,6 +17,7 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro.core.plan import EdgeDecision, LayerDecision, NetworkPlan
+from repro.cost.platform import PLATFORMS
 from repro.cost.tables import CostTables
 from repro.graph.scenario import ConvScenario
 from repro.layouts.dt_graph import DTGraph, DTPath
@@ -36,6 +37,12 @@ PathLike = Union[str, Path]
 #: that default to fp32/zero on older documents.
 COST_TABLE_FORMAT = "repro/cost-tables/v3"
 PLAN_FORMAT = "repro/plan/v1"
+
+#: Context labels a session records as a plan's ``platform`` when planning
+#: against a provider with no modelled platform (``Session._resolve_platform``
+#: falls back to the provider's name).  Plans carrying these labels are legal
+#: even though the labels never appear in the platform registry.
+PROVIDER_PLATFORM_LABELS = ("analytical", "profiled")
 
 
 def _shape_key(shape: Tuple[int, int, int]) -> str:
@@ -118,7 +125,10 @@ def cost_tables_to_dict(tables: CostTables) -> dict:
 def cost_tables_from_dict(document: dict, dt_graph: DTGraph) -> CostTables:
     """Rebuild cost tables from a dictionary produced by :func:`cost_tables_to_dict`."""
     if document.get("format") != COST_TABLE_FORMAT:
-        raise ValueError(f"unexpected cost-table format {document.get('format')!r}")
+        raise ValueError(
+            f"unexpected cost-table format {document.get('format')!r} "
+            f"(expected {COST_TABLE_FORMAT!r}; older documents must be re-profiled)"
+        )
 
     scenarios = {
         layer: ConvScenario(**params) for layer, params in document["scenarios"].items()
@@ -201,7 +211,7 @@ def cost_tables_from_dict(document: dict, dt_graph: DTGraph) -> CostTables:
 
 def save_cost_tables(tables: CostTables, path: PathLike) -> None:
     """Write cost tables to a JSON file."""
-    Path(path).write_text(json.dumps(cost_tables_to_dict(tables), indent=2))
+    Path(path).write_text(json.dumps(cost_tables_to_dict(tables), indent=2, sort_keys=True))
 
 
 def load_cost_tables(path: PathLike, dt_graph: DTGraph) -> CostTables:
@@ -264,7 +274,20 @@ def plan_to_dict(plan: NetworkPlan) -> dict:
 def plan_from_dict(document: dict, dt_graph: DTGraph) -> NetworkPlan:
     """Rebuild a network plan from a dictionary produced by :func:`plan_to_dict`."""
     if document.get("format") != PLAN_FORMAT:
-        raise ValueError(f"unexpected plan format {document.get('format')!r}")
+        raise ValueError(
+            f"unexpected plan format {document.get('format')!r} "
+            f"(expected {PLAN_FORMAT!r})"
+        )
+    platform_name = document.get("platform")
+    if (
+        platform_name is not None
+        and platform_name not in PLATFORMS
+        and platform_name not in PROVIDER_PLATFORM_LABELS
+    ):
+        raise ValueError(
+            f"plan references platform {platform_name!r} which is not registered; "
+            f"registered platforms: {', '.join(sorted(PLATFORMS))}"
+        )
     plan = NetworkPlan(
         network_name=document["network"],
         strategy=document["strategy"],
@@ -319,7 +342,7 @@ def plan_from_dict(document: dict, dt_graph: DTGraph) -> NetworkPlan:
 
 def save_plan(plan: NetworkPlan, path: PathLike) -> None:
     """Write a plan to a JSON file."""
-    Path(path).write_text(json.dumps(plan_to_dict(plan), indent=2))
+    Path(path).write_text(json.dumps(plan_to_dict(plan), indent=2, sort_keys=True))
 
 
 def load_plan(path: PathLike, dt_graph: DTGraph) -> NetworkPlan:

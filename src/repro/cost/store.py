@@ -425,7 +425,7 @@ class CostStore:
             delete=False,
         ) as handle:
             temporary = Path(handle.name)
-            handle.write(json.dumps(document))
+            handle.write(json.dumps(document, sort_keys=True))
         temporary.replace(path)
 
     def __repr__(self) -> str:  # pragma: no cover - trivial

@@ -248,7 +248,10 @@ class Frontier:
     @classmethod
     def from_dict(cls, document: dict, dt_graph: DTGraph) -> "Frontier":
         if document.get("format") != FRONTIER_FORMAT:
-            raise ValueError(f"unexpected frontier format {document.get('format')!r}")
+            raise ValueError(
+                f"unexpected frontier format {document.get('format')!r} "
+                f"(expected {FRONTIER_FORMAT!r})"
+            )
         return cls(
             network_name=document["network"],
             platform_name=document["platform"],

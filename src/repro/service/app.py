@@ -383,8 +383,19 @@ class PlannerApp:
             if self.cache_dir is not None:
                 document = read_plan_document(self.cache_dir, job)
                 if document is not None:
-                    self.metrics.inc("plan_disk_hits")
-                    return document
+                    # Disk-tier documents come from other processes (warming
+                    # workers, earlier daemons) and may be stale or corrupt;
+                    # admit them only after static verification, otherwise
+                    # fall through to a fresh solve that overwrites the file.
+                    from repro.analysis.plan_verifier import verify_document
+
+                    report = verify_document(
+                        document, source=plan_document_path(self.cache_dir, job)
+                    )
+                    if report.ok:
+                        self.metrics.inc("plan_disk_hits")
+                        return document
+                    self.metrics.inc("plan_disk_invalid")
             with self.metrics.time("plan_build_ms"):
                 document = build_plan_document(
                     self.session,
@@ -551,7 +562,7 @@ class PlannerRequestHandler(BaseHTTPRequestHandler):
         self._respond(status, payload)
 
     def _respond(self, status: int, payload: dict) -> None:
-        data = json.dumps(payload).encode()
+        data = json.dumps(payload, sort_keys=True).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))

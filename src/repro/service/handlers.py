@@ -272,6 +272,35 @@ def handle_frontier(app: PlannerApp, params: Params) -> dict:
     return {**document, "from_cache": cached}
 
 
+@register_endpoint(
+    "POST",
+    "/v1/validate",
+    fields=(
+        Field(
+            "document",
+            "object",
+            required=True,
+            description="a serialized plan/tables/frontier/store-entry/result/"
+            "service document to verify statically",
+        ),
+    ),
+    description="statically verify a serialized document without executing it",
+)
+def handle_validate(app: PlannerApp, params: Params) -> dict:
+    from repro.analysis.plan_verifier import verify_document
+
+    # Deliberately uncached: validation is cheap (no solves, no profiling)
+    # and the submitted documents are arbitrary client payloads.
+    report = verify_document(params["document"], source="request.document")
+    return {
+        "format": "repro/service/v1",
+        "ok": report.ok,
+        "errors": len(report.errors),
+        "warnings": len(report.warnings),
+        "report": report.to_dict(),
+    }
+
+
 # -- introspection endpoints ---------------------------------------------------
 
 
