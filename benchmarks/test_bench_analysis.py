@@ -4,12 +4,10 @@ The verifier gates every ``Session.plan`` call and every disk-tier admission
 in the service, so its cost is paid on the planning hot path; this benchmark
 pins it down and tracks it in the ``BENCH_analysis.json`` trajectory.  The
 headline invariants ride along: every freshly planned zoo document verifies
-clean (no false positives), and the ResNet-18 fan-out double-pricing finding
-(the known cost-model blind spot this layer was built to surface) is present
-with a positive quantified delta.
+clean (no false positives), and the ResNet-18 fan-out double-pricing delta —
+once the known cost-model blind spot this layer was built to surface, fixed
+by the fan-out-aware PBQP encoding — stays pinned at zero.
 """
-
-import re
 
 import pytest
 
@@ -63,20 +61,19 @@ def test_verifier_walltime_over_zoo(zoo_documents, benchmark):
 
 @smoke_skip
 def test_fanout_finding_on_resnet18(zoo_documents):
+    """Fan-out-aware encoding: the RV140 delta is pinned to zero.
+
+    Before the fan-out-aware PBQP encoding this asserted a *positive*
+    double-pricing delta on ResNet-18's shared ``pool1`` chain (1.225 ms on
+    intel-haswell); shared chains are now priced once, so the detector — kept
+    as a regression tripwire — must stay silent, and the metric trajectory
+    records the delta as exactly 0.
+    """
     report = verify_document(zoo_documents["resnet18"], source="resnet18")
     fanout = [f for f in report.findings if f.rule == "RV140"]
-    assert fanout, "resnet18 pool1 fan-out double-pricing must be detected"
-    deltas = []
-    for finding in fanout:
-        match = re.search(r"double-priced by ([0-9.]+) ms", finding.message)
-        assert match, finding.message
-        deltas.append(float(match.group(1)))
-    assert all(delta > 0 for delta in deltas)
-    record_metric("analysis", "fanout_delta_ms", max(deltas))
-    emit(
-        "Fan-out double-pricing (resnet18, intel-haswell)\n"
-        + "\n".join(f"  {f.location}: {f.message}" for f in fanout)
-    )
+    assert not fanout, "\n".join(f"  {f.location}: {f.message}" for f in fanout)
+    record_metric("analysis", "fanout_delta_ms", 0.0)
+    emit("Fan-out double-pricing (resnet18, intel-haswell)\n  delta          0.00 ms")
 
 
 def test_lint_walltime_over_src(benchmark):

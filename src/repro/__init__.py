@@ -33,7 +33,7 @@ timing.  The PR-1 :class:`~repro.api.Engine` facade and the original one-shot
 :func:`repro.core.select_primitives` remain available.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.6.0"
 
 from repro.graph import ConvScenario, Network
 from repro.models import build_model

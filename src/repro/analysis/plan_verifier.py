@@ -31,10 +31,14 @@ rule        severity  meaning
 ``RV120``   error     a join consumes more than one layout
 ``RV121``   error     conversion hop is not a DT-graph edge / unknown layout
 ``RV122``   error     chain endpoints contradict the edge or its decisions
-``RV130``   error     recomputed cost-vector component differs
-``RV131``   error     recomputed ``total_ms`` differs
+``RV130``   error     recomputed cost-vector component differs (conversion
+                      chains count once per (producer, target layout), the
+                      executor's dedup — double-priced legacy totals fail)
+``RV131``   error     recomputed ``total_ms`` differs (same dedup formula)
 ``RV140``   warning   fan-out double pricing: a shared conversion chain the
-                      executor dedups is priced once per edge
+                      executor dedups is priced on more than one edge —
+                      0.0 on every canonical plan since the fan-out-aware
+                      encoding; kept as the regression tripwire
 ``RV150``   error     store-entry key contradicts its embedded tables
 ``RV151``   error     table scenario contradicts the table's dtype/batch
 ``RV152``   warning   store-entry platform_version is stale
@@ -62,6 +66,7 @@ from repro.core.plan import NetworkPlan
 from repro.cost.platform import PLATFORMS, Platform, platform_version
 from repro.cost.serialize import (
     COST_TABLE_FORMAT,
+    LEGACY_PLAN_FORMATS,
     PLAN_FORMAT,
     PROVIDER_PLATFORM_LABELS,
     plan_to_dict,
@@ -114,6 +119,33 @@ class PlanVerificationError(ValueError):
 def detect_kind(document: dict) -> Optional[str]:
     """The subject kind of a raw document, or ``None`` for foreign formats."""
     return KNOWN_FORMATS.get(document.get("format"))
+
+
+def _format_finding(fmt: object, location: str) -> Finding:
+    """The RV100 finding for an unrecognized format token.
+
+    Legacy plan formats get a self-explanatory message: their totals are
+    double-priced on fan-out graphs, and the fix is an upgrade (or a fresh
+    plan), not a hand edit.
+    """
+    if fmt in LEGACY_PLAN_FORMATS:
+        return Finding(
+            "RV100",
+            "error",
+            location,
+            f"stale plan format {fmt!r}: plans serialized before the "
+            f"fan-out-aware pricing fix carry double-priced conversion "
+            f"totals; re-plan, or load through "
+            f"repro.cost.serialize.upgrade_plan_document to re-attribute "
+            f"them (current format: {PLAN_FORMAT!r})",
+        )
+    return Finding(
+        "RV100",
+        "error",
+        location,
+        f"unknown document format {fmt!r}; known "
+        f"formats: {', '.join(sorted(KNOWN_FORMATS))}",
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -270,13 +302,15 @@ def _child_plan(
     if not isinstance(subdocument, dict):
         return [Finding("RV100", "error", location, "embedded plan is not an object")]
     if subdocument.get("format") != PLAN_FORMAT:
+        fmt = subdocument.get("format")
+        if fmt in LEGACY_PLAN_FORMATS:
+            return [_format_finding(fmt, location + ".format")]
         return [
             Finding(
                 "RV100",
                 "error",
                 location + ".format",
-                f"expected plan format {PLAN_FORMAT!r}, "
-                f"found {subdocument.get('format')!r}",
+                f"expected plan format {PLAN_FORMAT!r}, found {fmt!r}",
             )
         ]
     return _run_kind(subdocument, "plan", parent.env, location + ".")
@@ -578,6 +612,32 @@ def check_plan_chains(ctx: PlanContext) -> Iterator[Finding]:
                 )
 
 
+def _deduped_edge_total(edges: List[dict], key: str) -> float:
+    """Accumulate a per-edge quantity with the executor's conversion dedup.
+
+    Edges carrying a conversion chain are grouped by (producer, target
+    layout) — the key ``NetworkExecutor.run_traced`` caches converted
+    tensors under — and each group contributes the chain's cost *once* (its
+    largest entry: plans attribute the full cost to one edge of the group
+    and zero to the rest, so the maximum is the chain cost however the
+    document distributes it).  Chainless edges contribute their own value.
+    A document that prices a shared chain on every edge therefore recomputes
+    *lower* than its serialized totals and fails RV130/RV131.
+    """
+    total = 0.0
+    group_max: Dict[Tuple[str, str], float] = {}
+    for entry in edges:
+        value = float(entry.get(key, 0.0))
+        producer = entry.get("producer")
+        target = entry.get("target_layout")
+        if entry.get("hops") and isinstance(producer, str) and isinstance(target, str):
+            group = (producer, target)
+            group_max[group] = max(group_max.get(group, value), value)
+        else:
+            total += value
+    return total + sum(group_max.values())
+
+
 @register_pass(
     "plan-costs",
     kinds=("plan",),
@@ -588,19 +648,21 @@ def check_plan_costs(ctx: PlanContext) -> Iterator[Finding]:
     prefix = ctx.prefix
     layers = ctx.layers
     edges = ctx.edges
-    # Recompute in document order: the accumulation rule (and its float
-    # summation order) is exactly NetworkPlan.cost_vector's, so equality is
-    # exact up to rounding noise.
+    # Recompute with the executor's accounting: per-layer costs add up, and
+    # conversion chains count once per (producer, target layout) — the
+    # shared-chain formula finalize_plan attributes by.  A canonical plan
+    # carries each chain's cost on exactly one edge of its dedup group, so
+    # the plain sum and the grouped sum coincide up to rounding noise.
     time_ms = 1e3 * (
         sum(float(entry.get("cost", 0.0)) for entry in layers)
-        + sum(float(entry.get("cost", 0.0)) for entry in edges)
+        + _deduped_edge_total(edges, "cost")
     )
     workspace = max(
         (float(entry.get("workspace_bytes", 0.0)) for entry in layers), default=0.0
     )
-    energy = sum(float(entry.get("energy_j", 0.0)) for entry in layers) + sum(
-        float(entry.get("energy_j", 0.0)) for entry in edges
-    )
+    energy = sum(
+        float(entry.get("energy_j", 0.0)) for entry in layers
+    ) + _deduped_edge_total(edges, "energy_j")
     accuracy = sum(float(entry.get("accuracy_loss", 0.0)) for entry in layers)
     recomputed = {
         "time_ms": time_ms,
@@ -653,9 +715,12 @@ def check_plan_costs(ctx: PlanContext) -> Iterator[Finding]:
 )
 def check_plan_fanout(ctx: PlanContext) -> Iterator[Finding]:
     # The executor dedups conversions by (producer, target layout) — see
-    # NetworkExecutor.run_traced — but the PBQP formulation prices every
-    # edge separately, so a producer fanning out into two consumers of the
-    # same layout pays the chain twice on paper and once at runtime.
+    # NetworkExecutor.run_traced — and since the fan-out-aware encoding both
+    # the PBQP objective and finalize_plan attribute each shared chain to
+    # exactly one edge, so every canonical plan reports a delta of 0.0 here.
+    # The pass stays as the regression tripwire that keeps double pricing
+    # from silently returning (CI runs `repro check --strict`, which
+    # promotes this warning to a failure on freshly planned documents).
     groups: Dict[Tuple[str, str], List[dict]] = {}
     for entry in ctx.edges:
         if not entry.get("hops"):
@@ -1087,15 +1152,7 @@ def verify_document(
         return report
     kind = detect_kind(document)
     if kind is None:
-        report.findings.append(
-            Finding(
-                "RV100",
-                "error",
-                "format",
-                f"unknown document format {document.get('format')!r}; known "
-                f"formats: {', '.join(sorted(KNOWN_FORMATS))}",
-            )
-        )
+        report.findings.append(_format_finding(document.get("format"), "format"))
         return report
     if library is None:
         env = _default_env()

@@ -28,9 +28,10 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import json
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -46,7 +47,7 @@ from repro.core.strategies import (
 )
 from repro.cost.platform import Platform, get_platform
 from repro.cost.provider import AnalyticalCostProvider, CostProvider, CostQuery
-from repro.cost.serialize import load_plan, plan_from_dict, plan_to_dict, save_plan
+from repro.cost.serialize import plan_from_dict, plan_to_dict, save_plan
 from repro.cost.store import CostStore
 from repro.graph.layer import InputLayer
 from repro.graph.network import Network
@@ -196,6 +197,31 @@ class LayerExecution:
 
 
 @dataclass
+class ConversionExecution:
+    """Predicted-versus-measured timing of one planned conversion chain.
+
+    The executor converts once per (producer, target layout) and reuses the
+    result for every other consumer — and plan pricing attributes the chain's
+    cost the same way — so within a fan-out dedup group exactly one entry
+    carries the prediction and the measurement; the reusing edges appear
+    with ``deduplicated`` set and both numbers at zero.
+    """
+
+    producer: str
+    consumer: str
+    source_layout: str
+    target_layout: str
+    #: Plan-attributed cost of the chain, in ms (0 on deduplicated edges).
+    predicted_ms: float
+    #: Measured chain time on this host, in ms (0 on deduplicated edges,
+    #: whose conversion never ran).
+    measured_ms: float
+    #: True when this edge reuses a chain executed (and priced) for an
+    #: earlier consumer of the same producer.
+    deduplicated: bool = False
+
+
+@dataclass
 class ExecutionReport:
     """What one executed forward pass did, against what the plan predicted.
 
@@ -217,7 +243,9 @@ class ExecutionReport:
     layers: List[LayerExecution]
     #: Number of layout-conversion chains actually executed.
     conversions_executed: int
-    #: Number of conversion chains the plan calls for.
+    #: Number of distinct conversion chains the plan calls for — one per
+    #: (producer, target layout) dedup group, matching what the executor
+    #: runs, so this equals ``conversions_executed`` on a faithful pass.
     conversions_planned: int
     #: Predicted total layout-conversion cost, in ms.
     predicted_conversion_ms: float
@@ -229,6 +257,9 @@ class ExecutionReport:
     batch: int = 1
     #: Name of the network's primary (last) output layer.
     output_layer: str = ""
+    #: Per-edge conversion accounting, in plan order; fan-out edges that
+    #: reuse another edge's chain are flagged ``deduplicated``.
+    conversions: List[ConversionExecution] = field(default_factory=list)
 
     @property
     def heads(self) -> Dict[str, np.ndarray]:
@@ -426,6 +457,32 @@ class Plan:
         for layer in self.network.topological_order():
             if layer.name in output_names:
                 output_layer = layer.name
+        # Per-edge conversion accounting.  The carrier of each (producer,
+        # target layout) dedup group is the edge finalize_plan attributed the
+        # chain's cost to; the executor charges its measured time to the same
+        # edge, so predicted and measured land on one consumer.
+        planned = plan.conversions()
+        chain_groups: Dict[Tuple[str, str], List[int]] = {}
+        for index, edge in enumerate(planned):
+            chain_groups.setdefault(
+                (edge.producer, edge.target_layout.name), []
+            ).append(index)
+        carriers = {
+            max(members, key=lambda i: planned[i].cost) for members in chain_groups.values()
+        }
+        conversions = [
+            ConversionExecution(
+                producer=edge.producer,
+                consumer=edge.consumer,
+                source_layout=edge.source_layout.name,
+                target_layout=edge.target_layout.name,
+                predicted_ms=1e3 * edge.cost,
+                measured_ms=1e3
+                * trace.conversion_seconds.get((edge.producer, edge.consumer), 0.0),
+                deduplicated=index not in carriers,
+            )
+            for index, edge in enumerate(planned)
+        ]
         return ExecutionReport(
             model=self.result.model,
             platform=self.result.platform,
@@ -434,12 +491,13 @@ class Plan:
             output=output,
             layers=layers,
             conversions_executed=trace.conversions_executed,
-            conversions_planned=len(plan.conversions()),
+            conversions_planned=len(chain_groups),
             predicted_conversion_ms=1e3 * plan.dt_cost,
             measured_conversion_ms=1e3 * trace.total_conversion_seconds,
             wall_ms=1e3 * trace.wall_seconds,
             batch=trace.batch,
             output_layer=output_layer,
+            conversions=conversions,
         )
 
     # -- persistence --------------------------------------------------------------
@@ -912,20 +970,37 @@ class Session:
 
         The network is rebuilt from the model zoo by the plan's recorded
         network name unless an explicit ``network`` is passed.  ``verify``
-        statically checks the raw document first (hand-edited or stale files
-        are refused with a structured
+        statically checks the raw document first (hand-edited or corrupt
+        files are refused with a structured
         :class:`~repro.analysis.plan_verifier.PlanVerificationError` listing
         every problem at once); pass ``verify=False`` to load it anyway.
+
+        A stale-format document (``repro/plan/v1``, which double-prices
+        shared fan-out conversion chains) is re-finalized through
+        :func:`~repro.cost.serialize.upgrade_plan_document` before
+        verification, so old files load with corrected, executor-matching
+        totals instead of being served (or refused) verbatim.
         """
+        from repro.cost.serialize import LEGACY_PLAN_FORMATS, upgrade_plan_document
+
+        document = json.loads(Path(path).read_text())
+        if isinstance(document, dict) and document.get("format") in LEGACY_PLAN_FORMATS:
+            document = upgrade_plan_document(document)
         if verify:
-            from repro.analysis.plan_verifier import raise_for_report, verify_file
+            from repro.analysis.plan_verifier import raise_for_report, verify_document
 
             raise_for_report(
-                verify_file(
-                    path, network=network, library=self.library, dt_graph=self.dt_graph
+                verify_document(
+                    document,
+                    source=str(path),
+                    network=network,
+                    library=self.library,
+                    dt_graph=self.dt_graph,
                 )
             )
-        network_plan = load_plan(path, self.dt_graph)
+        if not isinstance(document, dict):
+            raise ValueError(f"plan document {path} is not a JSON object")
+        network_plan = plan_from_dict(document, self.dt_graph)
         if network is None:
             _, network = self._resolve_network(network_plan.network_name)
         elif network.name != network_plan.network_name:

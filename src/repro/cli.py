@@ -285,6 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="+", metavar="PATH", help="JSON documents to verify"
     )
     check.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures (exit 1); CI uses this so pricing "
+        "regressions like a reappearing RV140 fan-out gap fail the build",
+    )
+    check.add_argument(
         "--json",
         action="store_true",
         dest="as_json",
@@ -595,7 +601,8 @@ def _command_cache(args: argparse.Namespace) -> int:
 
 
 def _command_check(args: argparse.Namespace) -> int:
-    """Verify documents; exit 0 clean, 1 on errors, 2 on unreadable input."""
+    """Verify documents; exit 0 clean, 1 on errors (with --strict: also
+    warnings), 2 on unreadable input."""
     import json
 
     from repro.analysis.plan_verifier import verify_file
@@ -616,7 +623,10 @@ def _command_check(args: argparse.Namespace) -> int:
     else:
         for report in reports:
             print(report.summary())
-    return 0 if all(report.ok for report in reports) else 1
+    clean = all(
+        report.ok and (not args.strict or not report.warnings) for report in reports
+    )
+    return 0 if clean else 1
 
 
 def _command_lint(args: argparse.Namespace) -> int:

@@ -15,12 +15,30 @@ The encoding follows the paper exactly:
   that edge (all-pairs shortest paths over the DT graph, section 3.1);
 * the PBQP solver finds the minimum-cost assignment, which the legalizer
   turns into an executable :class:`~repro.core.plan.NetworkPlan`.
+
+One place this reproduction deliberately departs from the paper's encoding:
+the executor deduplicates conversion chains by (producer, target layout) —
+a producer fanning out into several consumers that demand the same layout
+converts once and reuses the result — so pricing the chain on every edge
+would double-count it (the plan verifier's RV140 rule used to quantify that
+gap on ResNet-18's ``pool1``).  For a fan-out producer the encoder therefore
+replaces its per-edge cost matrices with one auxiliary *conversion node*
+whose alternatives are the sets of target layouts the consumers may demand:
+the producer→aux edge prices each candidate set once (the executor's cost),
+and the aux→consumer edges are zero/infinity compatibility matrices forcing
+the chosen set to cover every consumer's demand.  The objective the solver
+minimizes then equals the cost the executor pays, mixed-target fan-outs
+included, and the auxiliary node folds away under the ordinary R1/R2
+reductions (the aux simply takes over the producer's adjacency), so the
+solver stays exact on the paper's graphs.
 """
 
 from __future__ import annotations
 
+import itertools
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.legalize import finalize_plan
 from repro.core.plan import NetworkPlan
@@ -197,6 +215,8 @@ class PBQPSelector:
             id_to_layer[node_id] = layer.name
 
         for edge in network.edges():
+            if len(network.consumers_of(edge.producer)) >= 2:
+                continue  # priced once through the producer's conversion node below
             producer = network.layer(edge.producer)
             consumer = network.layer(edge.consumer)
             shape = tables.shapes[edge.producer]
@@ -211,7 +231,75 @@ class PBQPSelector:
             ]
             graph.add_edge(node_of_layer[edge.producer], node_of_layer[edge.consumer], matrix)
 
+        for layer in network.topological_order():
+            consumers = network.consumers_of(layer.name)
+            if len(consumers) >= 2:
+                self._add_fanout_conversion_node(
+                    context, graph, node_of_layer, layer, consumers
+                )
+
         return graph, id_to_layer
+
+    def _add_fanout_conversion_node(
+        self,
+        context: SelectionContext,
+        graph: PBQPGraph,
+        node_of_layer: Dict[str, int],
+        producer,
+        consumers: Sequence[str],
+    ) -> None:
+        """Price a fan-out producer's conversions once per distinct target layout.
+
+        The auxiliary node's alternatives are the candidate *sets* of target
+        layouts (every non-empty subset, up to the fan-out width, of the
+        layouts some consumer can demand).  The producer→aux matrix charges
+        the dt-graph chain cost of each layout in the set exactly once — the
+        executor's deduplicated cost — and each aux→consumer matrix is 0
+        where the set covers the consumer's demanded input layout and
+        infinite where it does not, so a minimizing assignment picks exactly
+        the distinct targets the consumers chose.
+        """
+        tables = context.tables
+        network = context.network
+        shape = tables.shapes[producer.name]
+        out_layouts = self._alternative_layouts(context, producer, output=True)
+        consumer_in_layouts = {
+            name: self._alternative_layouts(context, network.layer(name), output=False)
+            for name in consumers
+        }
+        targets = sorted(
+            {layout.name for layouts in consumer_in_layouts.values() for layout in layouts}
+        )
+        # A set of k consumers demands at most k distinct layouts, so larger
+        # subsets are never selectable and need not be encoded.
+        subsets = [
+            combo
+            for size in range(1, min(len(consumers), len(targets)) + 1)
+            for combo in itertools.combinations(targets, size)
+        ]
+        aux_id = graph.add_node(
+            [0.0] * len(subsets),
+            name=f"{producer.name}::conversions",
+            labels=["+".join(combo) for combo in subsets],
+        )
+        chain_costs = [
+            [
+                sum(tables.dt_costs[shape][(src.name, dst)] for dst in combo)
+                for combo in subsets
+            ]
+            for src in out_layouts
+        ]
+        graph.add_edge(node_of_layer[producer.name], aux_id, chain_costs)
+        covered = [frozenset(combo) for combo in subsets]
+        for name in consumers:
+            compatibility = [
+                [
+                    0.0 if layout.name in cover else math.inf
+                    for layout in consumer_in_layouts[name]
+                ]
+                for cover in covered
+            ]
+            graph.add_edge(aux_id, node_of_layer[name], compatibility)
 
     def _alternative_layouts(
         self, context: SelectionContext, layer, output: bool
@@ -238,7 +326,9 @@ class PBQPSelector:
         layout_by_name.setdefault(CHW.name, CHW)
 
         for node_id, index in solution.assignment.items():
-            layer_name = id_to_layer[node_id]
+            layer_name = id_to_layer.get(node_id)
+            if layer_name is None:
+                continue  # auxiliary conversion node, not a layer decision
             layer = context.network.layer(layer_name)
             label = graph.node(node_id).label_of(index)
             if layer.is_convolution:

@@ -298,7 +298,9 @@ def _solve_with_tables(
     layout_by_name = {layout.name: layout for layout in context.dt_graph.layouts}
     layout_by_name.setdefault(CHW.name, CHW)
     for node_id, index in solution.assignment.items():
-        layer_name = id_to_layer[node_id]
+        layer_name = id_to_layer.get(node_id)
+        if layer_name is None:
+            continue  # auxiliary fan-out conversion node, not a layer decision
         layer = context.network.layer(layer_name)
         candidate_label = graph.node(node_id).label_of(index)
         if layer.is_convolution:

@@ -1,16 +1,21 @@
-"""Exhaustive PBQP oracle used to validate the solver in tests.
+"""Exhaustive oracles used to validate the solver in tests.
 
-Enumerates every full assignment of a (small) PBQP instance and returns the
-cheapest one.  Exponential in the number of nodes — only suitable for the
-randomized instances used by the test suite, never for real selection
-problems.
+:func:`brute_force_solve` enumerates every full assignment of a (small) PBQP
+instance and returns the cheapest one.  :func:`brute_force_network_select`
+enumerates every per-layer choice of a (small) selection context and prices
+it with the executor's grouped conversion formula — a shared fan-out chain
+counts once per distinct (producer, target layout), exactly what
+``NetworkExecutor.run_traced`` executes — so PBQP-vs-bruteforce cross-checks
+compare the objective the runtime actually pays.  Both are exponential —
+only suitable for the small instances in the test suite, never for real
+selection problems.
 """
 
 from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from repro.pbqp.graph import PBQPGraph
 from repro.pbqp.solution import PBQPSolution
@@ -50,3 +55,102 @@ def brute_force_solve(graph: PBQPGraph, limit: int = 2_000_000) -> PBQPSolution:
             best_cost = cost
             best_assignment = assignment
     return PBQPSolution(assignment=best_assignment, cost=best_cost, optimal=True)
+
+
+def brute_force_network_select(context, limit: int = 2_000_000):
+    """Exhaustively find the cheapest selection under the executor's objective.
+
+    Enumerates every per-layer choice of ``context`` (a
+    :class:`~repro.core.selector.SelectionContext`, duck-typed to avoid the
+    import cycle): each convolution picks one applicable primitive, the input
+    layer is pinned to CHW, every other layer picks one DT-graph layout.  A
+    candidate's cost is the sum of the chosen primitives' costs plus, for
+    every producer, the conversion chain cost of each **distinct** target
+    layout its consumers demand — charged once per (producer, target), the
+    grouped formula the executor pays and the fan-out-aware PBQP encoding
+    prices.
+
+    Returns ``(conv_primitives, wildcard_layouts, cost)``, ready to feed
+    :func:`~repro.core.legalize.finalize_plan`.
+
+    Raises
+    ------
+    ValueError
+        If the search space exceeds ``limit``.
+    """
+    from repro.graph.layer import LayerKind
+    from repro.layouts.layout import CHW
+
+    network = context.network
+    tables = context.tables
+    library = context.library
+
+    layers = list(network.topological_order())
+    choices: List[List[Tuple[str, str, str]]] = []  # (choice label, in layout, out layout)
+    for layer in layers:
+        if layer.is_convolution:
+            alternatives = []
+            for name in sorted(tables.node_costs[layer.name]):
+                primitive = library.get(name)
+                alternatives.append(
+                    (name, primitive.input_layout.name, primitive.output_layout.name)
+                )
+        elif layer.kind is LayerKind.INPUT:
+            alternatives = [(CHW.name, CHW.name, CHW.name)]
+        else:
+            alternatives = [
+                (layout.name, layout.name, layout.name)
+                for layout in context.dt_graph.layouts
+            ]
+        choices.append(alternatives)
+
+    total = 1
+    for alternatives in choices:
+        total *= len(alternatives)
+    if total > limit:
+        raise ValueError(
+            f"brute force search space {total} exceeds limit {limit}; use the PBQP selector"
+        )
+
+    edges = list(network.edges())
+    layout_by_name = {layout.name: layout for layout in context.dt_graph.layouts}
+    layout_by_name.setdefault(CHW.name, CHW)
+
+    best_cost = math.inf
+    best_combo = None
+    for combo in itertools.product(*choices):
+        picked = dict(zip((layer.name for layer in layers), combo))
+        cost = 0.0
+        for layer in layers:
+            if layer.is_convolution:
+                cost += tables.node_costs[layer.name][picked[layer.name][0]]
+        # Grouped conversion pricing: one chain per distinct (producer, target).
+        demanded: Dict[Tuple[str, str, str], None] = {}
+        for edge in edges:
+            source = picked[edge.producer][2]
+            target = picked[edge.consumer][1]
+            if source != target:
+                demanded[(edge.producer, source, target)] = None
+        legal = True
+        for producer, source, target in demanded:
+            chain_cost = tables.dt_costs[tables.shapes[producer]][(source, target)]
+            if math.isinf(chain_cost):
+                legal = False
+                break
+            cost += chain_cost
+        if legal and cost < best_cost:
+            best_cost = cost
+            best_combo = picked
+
+    if best_combo is None:
+        raise ValueError("no legal assignment exists for the network")
+
+    conv_primitives = {
+        layer.name: best_combo[layer.name][0] for layer in layers if layer.is_convolution
+    }
+    wildcard_layouts = {
+        layer.name: layout_by_name[best_combo[layer.name][0]]
+        for layer in layers
+        if not layer.is_convolution
+    }
+    return conv_primitives, wildcard_layouts, best_cost

@@ -222,7 +222,7 @@ def test_check_cli_reports_unregistered_platform(tmp_path, plan_doc, capsys):
 
 
 def test_format_mismatch_messages_name_expected_token(session):
-    with pytest.raises(ValueError, match=r"repro/plan/v1"):
+    with pytest.raises(ValueError, match=r"repro/plan/v2"):
         plan_from_dict({"format": "repro/plan/v0"}, session.dt_graph)
     with pytest.raises(ValueError, match=r"repro/cost-tables/v3"):
         cost_tables_from_dict({"format": "repro/cost-tables/v1"}, session.dt_graph)

@@ -59,11 +59,20 @@ class TestSelectionContext:
 
 
 class TestPBQPEncoding:
-    def test_one_node_per_layer_one_edge_per_dataflow_edge(self, intel_context):
+    def test_one_node_per_layer_plus_one_aux_per_fanout_producer(self, intel_context):
         graph, id_to_layer = PBQPSelector().build_pbqp(intel_context)
         network = intel_context.network
-        assert graph.num_nodes == len(network)
-        assert graph.num_edges == len(network.edges())
+        fanout_producers = [
+            layer
+            for layer in network.topological_order()
+            if len(network.consumers_of(layer.name)) >= 2
+        ]
+        # tiny_network: pool1 fans out into the three inception-style branches.
+        assert len(fanout_producers) == 1
+        # One node per layer plus one conversion node per fan-out producer;
+        # each fan-out producer trades its k direct edges for 1 + k aux edges.
+        assert graph.num_nodes == len(network) + len(fanout_producers)
+        assert graph.num_edges == len(network.edges()) + len(fanout_producers)
         assert set(id_to_layer.values()) == set(network.layer_names())
 
     def test_conv_nodes_have_primitive_alternatives(self, intel_context):
@@ -107,8 +116,14 @@ class TestPBQPSelection:
 
     def test_metadata_reports_optimality_and_size(self, intel_context):
         plan = PBQPSelector().select(intel_context)
+        network = intel_context.network
+        fanout_producers = sum(
+            1
+            for layer in network.topological_order()
+            if len(network.consumers_of(layer.name)) >= 2
+        )
         assert plan.metadata["pbqp_optimal"] is True
-        assert plan.metadata["pbqp_nodes"] == len(intel_context.network)
+        assert plan.metadata["pbqp_nodes"] == len(network) + fanout_producers
         assert plan.metadata["solver_seconds"] >= 0
 
     def test_pbqp_beats_or_matches_every_baseline(self, intel_context):

@@ -71,8 +71,20 @@ class TestPlanExecute:
     def test_execute_accounts_for_conversions(self, session, tiny_network):
         plan = session.plan(tiny_network, "intel-haswell")
         report = plan.execute()
-        assert report.conversions_planned == len(plan.network_plan.conversions())
+        # One planned chain per (producer, target layout): the executor
+        # converts once per dedup group and reuses the cached tensor.
+        chain_groups = {
+            (edge.producer, edge.target_layout.name)
+            for edge in plan.network_plan.conversions()
+        }
+        assert report.conversions_planned == len(chain_groups)
         assert report.conversions_executed == report.conversions_planned
+        assert len(report.conversions) == len(plan.network_plan.conversions())
+        deduplicated = [entry for entry in report.conversions if entry.deduplicated]
+        assert len(deduplicated) == len(plan.network_plan.conversions()) - len(
+            chain_groups
+        )
+        assert all(entry.predicted_ms == 0.0 for entry in deduplicated)
         assert report.predicted_conversion_ms == pytest.approx(
             1e3 * plan.network_plan.dt_cost
         )
